@@ -1,0 +1,253 @@
+// Package abftchol is a Go reproduction of "Online Algorithm-Based
+// Fault Tolerance for Cholesky Decomposition on Heterogeneous Systems
+// with GPUs" (Chen, Liang, Chen — IPDPS 2016).
+//
+// It provides:
+//
+//   - Enhanced Online-ABFT Cholesky decomposition — the paper's
+//     contribution, which verifies every block immediately before it
+//     is read and therefore corrects both computing errors ("1+1=3")
+//     and storage errors (bit flips in resident memory) in the middle
+//     of the factorization;
+//   - the Offline-ABFT and Online-ABFT baselines it is compared
+//     against, plus plain MAGMA-style hybrid Cholesky and a CULA-like
+//     vendor baseline;
+//   - the paper's three overhead optimizations: concurrent checksum
+//     recalculation on GPU streams, model-driven CPU/GPU placement of
+//     checksum updates, and verifying only every K-th iteration;
+//   - a deterministic discrete-event simulator of the paper's two
+//     evaluation machines (Tardis: Opteron 6272 + Tesla M2075/Fermi;
+//     Bulldozer64: Opteron 6272 + Tesla K40c/Kepler), standing in for
+//     the CUDA runtime, with real float64 arithmetic at test scale;
+//   - fault injection, the closed-form overhead model of §VI, and
+//     runners that regenerate every table and figure of §VII.
+//
+// Quick start:
+//
+//	a := abftchol.NewSPD(512, 1)                  // random SPD matrix
+//	l, res, err := abftchol.FactorSPD(a, abftchol.Laptop(), abftchol.SchemeEnhanced)
+//	// l is the Cholesky factor; res carries simulated timing and
+//	// fault-tolerance accounting.
+//
+// The exported names are thin aliases over the implementation
+// packages under internal/; see the README for the architecture.
+package abftchol
+
+import (
+	"fmt"
+
+	"abftchol/internal/cholesky"
+	"abftchol/internal/core"
+	"abftchol/internal/experiments"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+	"abftchol/internal/overhead"
+	"abftchol/internal/reliability"
+)
+
+// Matrix is a column-major dense matrix (see NewMatrix, NewSPD).
+type Matrix = mat.Matrix
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return mat.New(rows, cols) }
+
+// NewSPD returns a deterministic random symmetric positive-definite
+// n x n matrix for the given seed.
+func NewSPD(n int, seed int64) *Matrix { return mat.RandSPD(n, seed) }
+
+// Residual returns the scaled factorization residual
+// ‖A − L·Lᵀ‖max / (n‖A‖max); values near machine epsilon mean the
+// factor is correct.
+func Residual(a, l *Matrix) float64 { return mat.CholeskyResidual(a, l) }
+
+// Scheme selects the fault-tolerance variant.
+type Scheme = core.Scheme
+
+// The available schemes: plain MAGMA Algorithm 1, the CULA-like vendor
+// baseline, and the three ABFT variants.
+const (
+	SchemeNone        = core.SchemeNone
+	SchemeCULA        = core.SchemeCULA
+	SchemeOffline     = core.SchemeOffline
+	SchemeOnline      = core.SchemeOnline
+	SchemeEnhanced    = core.SchemeEnhanced
+	SchemeOnlineScrub = core.SchemeOnlineScrub
+)
+
+// Placement says where checksum updates run (Optimization 2).
+type Placement = core.Placement
+
+// Placement choices; PlaceAuto applies the paper's §V-B decision model.
+const (
+	PlaceAuto   = core.PlaceAuto
+	PlaceGPU    = core.PlaceGPU
+	PlaceCPU    = core.PlaceCPU
+	PlaceInline = core.PlaceInline
+)
+
+// Options configures a factorization run; Result reports it.
+type (
+	Options = core.Options
+	Result  = core.Result
+)
+
+// Run executes one factorization under Options (see core.Run).
+func Run(o Options) (Result, error) { return core.Run(o) }
+
+// Profile describes a simulated machine.
+type Profile = hetsim.Profile
+
+// The machines of the paper's evaluation, plus a small test profile.
+func Tardis() Profile      { return hetsim.Tardis() }
+func Bulldozer64() Profile { return hetsim.Bulldozer64() }
+func Laptop() Profile      { return hetsim.Laptop() }
+
+// ProfileByName resolves "tardis", "bulldozer64", or "laptop".
+func ProfileByName(name string) (Profile, error) { return hetsim.ProfileByName(name) }
+
+// Variant selects the blocked formulation: the paper's inner-product
+// LeftLooking (default) or the outer-product RightLooking ablation.
+type Variant = core.Variant
+
+// The available formulations.
+const (
+	LeftLooking  = core.LeftLooking
+	RightLooking = core.RightLooking
+)
+
+// Scenario describes a soft error to inject; Injection is one recorded
+// corruption; CampaignConfig drives randomized multi-error campaigns.
+type (
+	Scenario       = fault.Scenario
+	Injection      = fault.Injection
+	CampaignConfig = fault.CampaignConfig
+)
+
+// Campaign generates a reproducible randomized storage-error campaign
+// (Poisson arrivals over the factored region) for stress studies.
+func Campaign(cfg CampaignConfig) []Scenario { return fault.Campaign(cfg) }
+
+// ComputationError returns the paper's computation-error scenario
+// (one wrong element in a GEMM output at the given outer iteration)
+// and StorageError the storage-error scenario (a corrupted element in
+// an already-verified resident block read again at that iteration).
+// delta is the magnitude added to the element.
+func ComputationError(iter int, delta float64) Scenario {
+	s := fault.DefaultComputation(iter)
+	s.Delta = delta
+	return s
+}
+
+// StorageError builds the storage-error scenario; see ComputationError.
+func StorageError(iter int, delta float64) Scenario {
+	s := fault.DefaultStorage(iter)
+	s.Delta = delta
+	return s
+}
+
+// FactorSPD is the high-level entry point: it factors the SPD matrix a
+// (which is not modified) on the given simulated machine under the
+// given scheme with all optimizations enabled, returning the lower
+// Cholesky factor. The matrix size must be a multiple of the profile's
+// block size.
+func FactorSPD(a *Matrix, prof Profile, scheme Scheme) (*Matrix, Result, error) {
+	if a.Rows != a.Cols {
+		return nil, Result{}, fmt.Errorf("abftchol: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	res, err := core.Run(Options{
+		Profile:          prof,
+		N:                a.Rows,
+		Scheme:           scheme,
+		ConcurrentRecalc: true,
+		Placement:        PlaceAuto,
+		Data:             a,
+	})
+	if err != nil {
+		return nil, res, err
+	}
+	return res.L, res, nil
+}
+
+// Solve solves A·x = b in place given the Cholesky factor l of A.
+func Solve(l *Matrix, b []float64) error { return cholesky.Solve(l, b) }
+
+// SolveMany solves A·X = B for the columns of b in place.
+func SolveMany(l, b *Matrix) error { return cholesky.SolveMany(l, b) }
+
+// Inverse returns A⁻¹ from A's Cholesky factor.
+func Inverse(l *Matrix) (*Matrix, error) { return cholesky.Inverse(l) }
+
+// SolveRefined solves A·x = b through the factor l with iterative
+// refinement against the original matrix, returning the solution and
+// the final residual infinity norm.
+func SolveRefined(a, l *Matrix, b []float64, maxIter int) ([]float64, float64, error) {
+	return cholesky.SolveRefined(a, l, b, maxIter)
+}
+
+// ConditionEst estimates cond₂(A) from A's Cholesky factor by power
+// and inverse iteration (order-of-magnitude accuracy).
+func ConditionEst(l *Matrix, iters int) float64 { return cholesky.ConditionEst(l, iters) }
+
+// LogDet returns log det A from A's Cholesky factor.
+func LogDet(l *Matrix) float64 { return cholesky.LogDet(l) }
+
+// OverheadModel exposes the closed-form overhead formulas of §VI.
+type OverheadModel = overhead.Params
+
+// Experiment types for regenerating the paper's evaluation.
+type (
+	ExperimentConfig = experiments.Config
+	Figure           = experiments.Figure
+	ExperimentTable  = experiments.Table
+)
+
+// ExperimentIDs lists the reproducible experiments: table7, table8,
+// fig8 .. fig17.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one table or figure by ID and returns its
+// printable result.
+func RunExperiment(id string, cfg ExperimentConfig) (fmt.Stringer, error) {
+	ent, ok := experiments.Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("abftchol: unknown experiment %q (want one of %v)", id, experiments.IDs())
+	}
+	return ent.Run(ent.Profile, cfg), nil
+}
+
+// FITPerMbit is a device soft-error rate (failures per 10⁹ hours per
+// Mbit); ReliabilityWorkload describes one factorization for rate
+// conversion. See ExpectedStorageErrors.
+type (
+	FITPerMbit          = reliability.FITPerMbit
+	ReliabilityWorkload = reliability.Workload
+)
+
+// ExpectedStorageErrors converts a device FIT rate into the expected
+// number of storage errors striking one factorization, the quantity
+// that should drive the choice of Optimization 3's K (§V-C).
+func ExpectedStorageErrors(rate FITPerMbit, w ReliabilityWorkload) float64 {
+	return reliability.ExpectedErrors(rate, w)
+}
+
+// StorageErrorsPerIteration converts a FIT rate into the
+// per-outer-iteration rate ChooseK and Campaign consume.
+func StorageErrorsPerIteration(rate FITPerMbit, w ReliabilityWorkload) float64 {
+	return reliability.ErrorsPerIteration(rate, w)
+}
+
+// ChooseK tunes Optimization 3's verification interval for a machine,
+// matrix size, and assumed storage-error rate by running seeded
+// campaigns on the cost-model plane (§V-C's guidance, made
+// executable). Zero rate evaluates the fault-free overhead only.
+func ChooseK(prof Profile, n int, ratePerIteration float64, trials int, candidates []int) *experiments.KChoice {
+	return experiments.ChooseK(prof, n, ratePerIteration, trials, candidates)
+}
+
+// DecideUpdatePlacement applies the §V-B decision model: where should
+// checksum updating run on this machine for an n x n matrix with block
+// size b and verification interval k?
+func DecideUpdatePlacement(prof Profile, n, b, k int) Placement {
+	return core.DecideUpdatePlacement(prof, n, b, k)
+}

@@ -1,0 +1,244 @@
+package abftchol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFactorSPDQuickstart(t *testing.T) {
+	a := NewSPD(256, 1)
+	l, res, err := FactorSPD(a, Laptop(), SchemeEnhanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, l); r > 1e-12 {
+		t.Fatalf("residual %g", r)
+	}
+	if res.Time <= 0 || res.GFLOPS <= 0 {
+		t.Fatal("timing missing")
+	}
+	if res.Scheme != SchemeEnhanced {
+		t.Fatal("scheme not recorded")
+	}
+}
+
+func TestFactorSPDRejectsNonSquare(t *testing.T) {
+	if _, _, err := FactorSPD(NewMatrix(4, 6), Laptop(), SchemeNone); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	n := 128
+	a := NewSPD(n, 2)
+	b := make([]float64, n)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i%7) - 3
+	}
+	// b = A*want
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * want[j]
+		}
+		b[i] = s
+	}
+	l, _, err := FactorSPD(a, Laptop(), SchemeOnline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Solve(l, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if d := b[i] - want[i]; d > 1e-8 || d < -1e-8 {
+			t.Fatalf("x[%d] off by %g", i, d)
+		}
+	}
+}
+
+func TestInjectionThroughPublicAPI(t *testing.T) {
+	a := NewSPD(256, 3)
+	res, err := Run(Options{
+		Profile:          Laptop(),
+		N:                256,
+		Scheme:           SchemeEnhanced,
+		ConcurrentRecalc: true,
+		Data:             a,
+		Scenarios:        []Scenario{StorageError(4, 1e5), ComputationError(5, 1e5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 || res.Corrections == 0 {
+		t.Fatalf("enhanced did not correct in place: %+v", res)
+	}
+	if r := Residual(a, res.L); r > 1e-10 {
+		t.Fatalf("residual %g after correction", r)
+	}
+	if len(res.Injections) != 2 {
+		t.Fatalf("injections = %v", res.Injections)
+	}
+}
+
+func TestProfilesAndDecision(t *testing.T) {
+	if _, err := ProfileByName("tardis"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileByName("bogus"); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+	if p := DecideUpdatePlacement(Tardis(), 20480, 256, 1); p != PlaceCPU {
+		t.Fatalf("tardis placement %v", p)
+	}
+	if p := DecideUpdatePlacement(Bulldozer64(), 30720, 512, 1); p != PlaceGPU {
+		t.Fatalf("bulldozer64 placement %v", p)
+	}
+}
+
+func TestRunExperimentByID(t *testing.T) {
+	out, err := RunExperiment("table7", ExperimentConfig{CapabilityN: 5120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "enhanced-online-abft") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if _, err := RunExperiment("fig99", ExperimentConfig{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if got := len(ExperimentIDs()); got != 12 {
+		t.Fatalf("%d experiment ids", got)
+	}
+}
+
+func TestVariantThroughPublicAPI(t *testing.T) {
+	a := NewSPD(128, 5)
+	res, err := Run(Options{
+		Profile: Laptop(), N: 128, Scheme: SchemeEnhanced,
+		Variant: RightLooking, ConcurrentRecalc: true, Data: a,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variant != RightLooking {
+		t.Fatal("variant not recorded")
+	}
+	if r := Residual(a, res.L); r > 1e-12 {
+		t.Fatalf("right-looking residual %g", r)
+	}
+}
+
+func TestCampaignThroughPublicAPI(t *testing.T) {
+	scen := Campaign(CampaignConfig{Blocks: 10, BlockSize: 32, RatePerIteration: 0.5, Seed: 3})
+	if len(scen) == 0 {
+		t.Fatal("empty campaign")
+	}
+	again := Campaign(CampaignConfig{Blocks: 10, BlockSize: 32, RatePerIteration: 0.5, Seed: 3})
+	if len(again) != len(scen) {
+		t.Fatal("campaign not deterministic")
+	}
+	for _, s := range scen {
+		if s.BJ >= s.Iter || s.BI < s.Iter {
+			t.Fatalf("campaign target (%d,%d)@%d outside the live factored region", s.BI, s.BJ, s.Iter)
+		}
+	}
+}
+
+func TestMultiVectorThroughPublicAPI(t *testing.T) {
+	a := NewSPD(128, 6)
+	res, err := Run(Options{
+		Profile: Laptop(), N: 128, Scheme: SchemeEnhanced,
+		ChecksumVectors: 4, ConcurrentRecalc: true, Data: a,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, res.L); r > 1e-12 {
+		t.Fatalf("m=4 residual %g", r)
+	}
+}
+
+func TestInverseThroughPublicAPI(t *testing.T) {
+	a := NewSPD(64, 7)
+	l, _, err := FactorSPD(a, Laptop(), SchemeOnline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := Inverse(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check A·A⁻¹ ≈ I on a few entries.
+	for i := 0; i < 64; i += 13 {
+		s := 0.0
+		for k := 0; k < 64; k++ {
+			s += a.At(i, k) * inv.At(k, i)
+		}
+		if d := s - 1; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("diag of A*inv = %g", s)
+		}
+	}
+}
+
+func TestOverheadModelExported(t *testing.T) {
+	m := OverheadModel{N: 20480, B: 256, K: 1}
+	if m.EnhancedAsymptotic() <= m.OnlineAsymptotic() {
+		t.Fatal("enhanced asymptote must exceed online at K=1")
+	}
+}
+
+func TestLogDet(t *testing.T) {
+	a := NewSPD(64, 4)
+	l, _, err := FactorSPD(a, Laptop(), SchemeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := LogDet(l); d <= 0 {
+		// A = G·Gᵀ + n·I has eigenvalues > n > 1, so log det > 0.
+		t.Fatalf("logdet = %g", d)
+	}
+}
+
+func TestChooseKThroughPublicAPI(t *testing.T) {
+	c := ChooseK(Tardis(), 5120, 0, 1, []int{1, 4})
+	if c.BestK != 4 {
+		t.Fatalf("fault-free tuning chose %d", c.BestK)
+	}
+}
+
+func TestReliabilityThroughPublicAPI(t *testing.T) {
+	w := ReliabilityWorkload{N: 20480, B: 256, Seconds: 10.5}
+	perRun := ExpectedStorageErrors(FITPerMbit(500), w)
+	if perRun <= 0 {
+		t.Fatal("no expected errors at 500 FIT/Mbit")
+	}
+	perIter := StorageErrorsPerIteration(FITPerMbit(500), w)
+	if d := perIter*80 - perRun; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("per-iteration conversion off: %g vs %g", perIter*80, perRun)
+	}
+}
+
+func TestRefinedSolveThroughPublicAPI(t *testing.T) {
+	n := 64
+	a := NewSPD(n, 8)
+	l, _, err := FactorSPD(a, Laptop(), SchemeEnhanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	x, res, err := SolveRefined(a, l, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != n || res > 1e-8 {
+		t.Fatalf("refined solve: res=%g", res)
+	}
+	if c := ConditionEst(l, 40); c < 1 {
+		t.Fatalf("condition %g", c)
+	}
+}

@@ -1,0 +1,328 @@
+// Command abftchol runs the reproduction's experiments and individual
+// factorizations from the command line.
+//
+// Regenerate the paper's evaluation (Tables VII-VIII, Figures 8-17):
+//
+//	abftchol -exp all            # everything (a few minutes)
+//	abftchol -exp table7         # one experiment
+//	abftchol -exp fig14 -csv     # machine-readable output
+//	abftchol -exp fig9 -quick    # shortened sweep
+//	abftchol -list               # available experiment IDs
+//
+// Run a single factorization and report timing and fault handling:
+//
+//	abftchol -run -machine tardis -n 20480 -scheme enhanced -k 3
+//	abftchol -run -machine laptop -n 512 -scheme online -real \
+//	         -inject storage@4 -delta 1e5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"abftchol/internal/core"
+	"abftchol/internal/experiments"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+	"abftchol/internal/reliability"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment to regenerate (table7, table8, fig8..fig17, or 'all')")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		quick   = flag.Bool("quick", false, "shortened sweep (two sizes) for a fast look")
+		plot    = flag.Bool("plot", false, "render figures as ASCII charts instead of tables")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of aligned text")
+		chooseK = flag.Bool("choose-k", false, "tune the verification interval K for -machine/-n at -rate")
+		rate    = flag.Float64("rate", 0.05, "assumed storage errors per iteration (-choose-k)")
+		fit     = flag.Float64("fit", 0, "derive -rate from a FIT/Mbit soft-error rate instead (-choose-k)")
+		doRun   = flag.Bool("run", false, "run one factorization instead of an experiment")
+		machine = flag.String("machine", "tardis", "machine profile: tardis, bulldozer64, laptop")
+		n       = flag.Int("n", 10240, "matrix size (multiple of the profile block size)")
+		scheme  = flag.String("scheme", "enhanced", "magma, cula, offline, online, enhanced, scrub")
+		k       = flag.Int("k", 1, "verification interval K (Optimization 3)")
+		noOpt1  = flag.Bool("no-opt1", false, "disable concurrent checksum recalculation")
+		place   = flag.String("placement", "auto", "checksum update placement: auto, cpu, gpu, inline")
+		real    = flag.Bool("real", false, "run with real float64 data (small n only)")
+		inject  = flag.String("inject", "", "comma-separated errors, e.g. storage@4,computation@7")
+		delta   = flag.Float64("delta", 1e5, "injected error magnitude")
+		seed    = flag.Int64("seed", 42, "seed for the generated SPD input (-real)")
+		trace   = flag.Bool("trace", false, "render an ASCII timeline of the run (-run, small n)")
+		variant = flag.String("variant", "left", "blocked formulation: left (paper) or right (ablation)")
+		vectors = flag.Int("vectors", 2, "checksum vectors per block (2 = paper; 4 corrects 2 errors/column)")
+	)
+	flag.Parse()
+
+	switch {
+	case *chooseK:
+		prof, err := hetsim.ProfileByName(*machine)
+		if err != nil {
+			fatal(err)
+		}
+		r := *rate
+		if *fit > 0 {
+			// Estimate the run's duration from a clean model run, then
+			// convert the device FIT rate into errors per iteration.
+			base, err := core.Run(core.Options{Profile: prof, N: *n, Scheme: core.SchemeEnhanced,
+				ConcurrentRecalc: true, Placement: core.PlaceAuto})
+			if err != nil {
+				fatal(err)
+			}
+			w := reliability.Workload{N: *n, B: prof.BlockSize, Seconds: base.Time}
+			r = reliability.ErrorsPerIteration(reliability.FITPerMbit(*fit), w)
+			fmt.Println(reliability.Describe(reliability.FITPerMbit(*fit), w))
+		}
+		fmt.Print(experiments.ChooseK(prof, *n, r, 20, nil))
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		for _, id := range experiments.ExtensionIDs() {
+			fmt.Println(id)
+		}
+		fmt.Println("verify")
+	case *expID != "":
+		if err := runExperiments(*expID, *csv, *quick, *plot, *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *doRun:
+		if err := runOne(runCfg{
+			machine: *machine, n: *n, scheme: *scheme, k: *k,
+			opt1: !*noOpt1, place: *place, real: *real,
+			inject: *inject, delta: *delta, seed: *seed,
+			trace: *trace, variant: *variant, vectors: *vectors,
+		}); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "abftchol:", err)
+	os.Exit(1)
+}
+
+func runExperiments(id string, csv, quick, plot, jsonOut bool) error {
+	var cfg experiments.Config
+	if quick {
+		cfg.Sizes = []int{5120, 10240}
+		cfg.CapabilityN = 10240
+	}
+	if id == "verify" {
+		rep := experiments.RunShapeChecks(cfg)
+		if jsonOut {
+			s, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+		} else {
+			fmt.Print(rep)
+		}
+		if !rep.Passed() {
+			os.Exit(1)
+		}
+		return nil
+	}
+	reg := experiments.Registry()
+	ids := experiments.IDs()
+	if id == "ext" {
+		ids = experiments.ExtensionIDs()
+	} else if id != "all" {
+		if _, ok := reg[id]; !ok {
+			return fmt.Errorf("unknown experiment %q (use -list; also: ext, verify)", id)
+		}
+		ids = []string{id}
+	}
+	for _, one := range ids {
+		ent := reg[one]
+		out := ent.Run(ent.Profile, cfg)
+		switch v := out.(type) {
+		case *experiments.Figure:
+			switch {
+			case jsonOut:
+				s, err := v.JSON()
+				if err != nil {
+					return err
+				}
+				fmt.Print(s)
+			case csv:
+				fmt.Print(v.CSV())
+			case plot:
+				fmt.Println(v.Plot(72, 16))
+			default:
+				fmt.Println(v)
+			}
+		case *experiments.Table:
+			switch {
+			case jsonOut:
+				s, err := v.JSON()
+				if err != nil {
+					return err
+				}
+				fmt.Print(s)
+			case csv:
+				fmt.Print(v.CSV())
+			default:
+				fmt.Println(v)
+			}
+		default:
+			fmt.Println(out)
+		}
+	}
+	return nil
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "magma", "none":
+		return core.SchemeNone, nil
+	case "cula":
+		return core.SchemeCULA, nil
+	case "offline":
+		return core.SchemeOffline, nil
+	case "online":
+		return core.SchemeOnline, nil
+	case "enhanced":
+		return core.SchemeEnhanced, nil
+	case "scrub", "online+scrub":
+		return core.SchemeOnlineScrub, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func parsePlacement(s string) (core.Placement, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return core.PlaceAuto, nil
+	case "cpu":
+		return core.PlaceCPU, nil
+	case "gpu":
+		return core.PlaceGPU, nil
+	case "inline":
+		return core.PlaceInline, nil
+	}
+	return 0, fmt.Errorf("unknown placement %q", s)
+}
+
+func parseInjections(spec string, delta float64) ([]fault.Scenario, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []fault.Scenario
+	for _, part := range strings.Split(spec, ",") {
+		kindIter := strings.SplitN(strings.TrimSpace(part), "@", 2)
+		if len(kindIter) != 2 {
+			return nil, fmt.Errorf("bad injection %q, want kind@iter", part)
+		}
+		iter, err := strconv.Atoi(kindIter[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad injection iteration in %q: %v", part, err)
+		}
+		var sc fault.Scenario
+		switch strings.ToLower(kindIter[0]) {
+		case "storage", "memory":
+			sc = fault.DefaultStorage(iter)
+		case "computation", "compute":
+			sc = fault.DefaultComputation(iter)
+		default:
+			return nil, fmt.Errorf("bad injection kind %q (want storage or computation)", kindIter[0])
+		}
+		sc.Delta = delta
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// runCfg bundles the -run mode's flags.
+type runCfg struct {
+	machine, scheme, place, inject, variant string
+	n, k, vectors                           int
+	delta                                   float64
+	seed                                    int64
+	opt1, real, trace                       bool
+}
+
+func runOne(c runCfg) error {
+	prof, err := hetsim.ProfileByName(c.machine)
+	if err != nil {
+		return err
+	}
+	scheme, err := parseScheme(c.scheme)
+	if err != nil {
+		return err
+	}
+	placement, err := parsePlacement(c.place)
+	if err != nil {
+		return err
+	}
+	scenarios, err := parseInjections(c.inject, c.delta)
+	if err != nil {
+		return err
+	}
+	vrt := core.LeftLooking
+	switch strings.ToLower(c.variant) {
+	case "left", "inner":
+	case "right", "outer":
+		vrt = core.RightLooking
+	default:
+		return fmt.Errorf("unknown variant %q (want left or right)", c.variant)
+	}
+	o := core.Options{
+		Profile:          prof,
+		N:                c.n,
+		Scheme:           scheme,
+		Variant:          vrt,
+		K:                c.k,
+		ChecksumVectors:  c.vectors,
+		ConcurrentRecalc: c.opt1,
+		Placement:        placement,
+		Scenarios:        scenarios,
+		Trace:            c.trace,
+	}
+	if c.trace && c.n/prof.BlockSize > 16 {
+		return fmt.Errorf("-trace is readable only for small runs; use n <= %d on this machine", 16*prof.BlockSize)
+	}
+	var input *mat.Matrix
+	if c.real {
+		if c.n > 4096 {
+			return fmt.Errorf("-real is meant for small n (<= 4096); %d would take very long in pure Go", c.n)
+		}
+		input = mat.RandSPD(c.n, c.seed)
+		o.Data = input
+	}
+	res, err := core.Run(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine      %s (GPU %s, block %d)\n", prof.Name, prof.GPU.Name, res.B)
+	fmt.Printf("scheme       %s (%s)  K=%d  m=%d  opt1=%v  placement=%v\n",
+		res.Scheme, res.Variant, res.K, c.vectors, c.opt1, res.Placement)
+	fmt.Printf("matrix       %d x %d\n", res.N, res.N)
+	fmt.Printf("time         %.4f s (simulated)\n", res.Time)
+	fmt.Printf("performance  %.1f GFLOPS\n", res.GFLOPS)
+	fmt.Printf("attempts     %d   fail-stops %d\n", res.Attempts, res.FailStop)
+	fmt.Printf("verified     %d blocks, %d corrections\n", res.VerifiedBlocks, res.Corrections)
+	for _, in := range res.Injections {
+		fmt.Printf("injected     %s\n", in)
+	}
+	if input != nil && res.L != nil {
+		fmt.Printf("residual     %.3g\n", mat.CholeskyResidual(input, res.L))
+	}
+	if res.Trace != nil {
+		fmt.Println()
+		fmt.Print(res.Trace.Gantt(100))
+		fmt.Println()
+		fmt.Print(res.Trace.Utilization(res.Time))
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"abftchol/internal/core"
+	"abftchol/internal/fault"
+)
+
+// silence routes the command's stdout to /dev/null for the duration of
+// a test: the CLI paths print their results, and that output would
+// otherwise pollute `go test -bench` logs.
+func silence(t *testing.T) {
+	t.Helper()
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = devNull
+	t.Cleanup(func() {
+		os.Stdout = saved
+		devNull.Close()
+	})
+}
+
+func TestParseScheme(t *testing.T) {
+	cases := map[string]core.Scheme{
+		"magma":    core.SchemeNone,
+		"none":     core.SchemeNone,
+		"CULA":     core.SchemeCULA,
+		"offline":  core.SchemeOffline,
+		"online":   core.SchemeOnline,
+		"Enhanced": core.SchemeEnhanced,
+		"scrub":    core.SchemeOnlineScrub,
+	}
+	for in, want := range cases {
+		got, err := parseScheme(in)
+		if err != nil || got != want {
+			t.Fatalf("parseScheme(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScheme("nope"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	cases := map[string]core.Placement{
+		"auto": core.PlaceAuto, "cpu": core.PlaceCPU,
+		"GPU": core.PlaceGPU, "inline": core.PlaceInline,
+	}
+	for in, want := range cases {
+		got, err := parsePlacement(in)
+		if err != nil || got != want {
+			t.Fatalf("parsePlacement(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePlacement("moon"); err == nil {
+		t.Fatal("bad placement accepted")
+	}
+}
+
+func TestParseInjections(t *testing.T) {
+	scs, err := parseInjections("storage@4, computation@7", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("parsed %d scenarios", len(scs))
+	}
+	if scs[0].Kind != fault.Storage || scs[0].Iter != 4 || scs[0].Delta != 2.5 {
+		t.Fatalf("first scenario %+v", scs[0])
+	}
+	if scs[1].Kind != fault.Computation || scs[1].Iter != 7 {
+		t.Fatalf("second scenario %+v", scs[1])
+	}
+	// Aliases.
+	scs, err = parseInjections("memory@2,compute@3", 1)
+	if err != nil || scs[0].Kind != fault.Storage || scs[1].Kind != fault.Computation {
+		t.Fatalf("aliases: %v %v", scs, err)
+	}
+	// Empty spec.
+	if scs, err := parseInjections("", 1); err != nil || scs != nil {
+		t.Fatal("empty spec must parse to nothing")
+	}
+	// Malformed inputs.
+	for _, bad := range []string{"storage", "storage@x", "bogus@3", "@4"} {
+		if _, err := parseInjections(bad, 1); err == nil {
+			t.Fatalf("malformed %q accepted", bad)
+		}
+	}
+}
+
+func TestRunExperimentsModes(t *testing.T) {
+	silence(t)
+	// Exercise every rendering mode against one cheap experiment. The
+	// output goes to stdout; correctness of the content is covered by
+	// the experiments package — here we only assert the paths run.
+	for _, mode := range []struct{ csv, plot, json bool }{
+		{false, false, false},
+		{true, false, false},
+		{false, true, false},
+		{false, false, true},
+	} {
+		if err := runExperiments("fig12", mode.csv, true, mode.plot, mode.json); err != nil {
+			t.Fatalf("mode %+v: %v", mode, err)
+		}
+	}
+	if err := runExperiments("table7", false, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExperiments("nope", false, true, false, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunOneRealWithEverything(t *testing.T) {
+	silence(t)
+	cfg := runCfg{
+		machine: "laptop", scheme: "scrub", place: "cpu", variant: "right",
+		n: 128, k: 2, vectors: 4, real: true, trace: true,
+		inject: "storage@2", delta: 1e4, seed: 5, opt1: true,
+	}
+	if err := runOne(cfg); err != nil {
+		t.Fatalf("full-feature run failed: %v", err)
+	}
+}
+
+func TestRunOneValidation(t *testing.T) {
+	silence(t)
+	base := runCfg{machine: "laptop", scheme: "enhanced", place: "auto", variant: "left", n: 64, k: 1, vectors: 2}
+	bad := base
+	bad.machine = "nope"
+	if err := runOne(bad); err == nil {
+		t.Fatal("bad machine accepted")
+	}
+	bad = base
+	bad.variant = "diagonal"
+	if err := runOne(bad); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+	bad = base
+	bad.real = true
+	bad.n = 8192
+	if err := runOne(bad); err == nil {
+		t.Fatal("huge -real accepted")
+	}
+	bad = base
+	bad.trace = true
+	bad.n = 4096 // 128 blocks on laptop: too many rows for a gantt
+	if err := runOne(bad); err == nil {
+		t.Fatal("huge -trace accepted")
+	}
+	// And a good one end to end (model plane, tiny).
+	if err := runOne(base); err != nil {
+		t.Fatalf("valid run failed: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+// Faultinjection: reproduce the paper's capability experiment (§VII-B,
+// Tables VII and VIII) with real arithmetic at laptop scale. One
+// computation error and one storage error are injected into each ABFT
+// scheme; the table shows who corrects in place, who must redo the
+// whole factorization, and that every scheme ultimately delivers a
+// correct factor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abftchol"
+)
+
+func main() {
+	const (
+		n     = 512
+		delta = 1e5
+	)
+	a := abftchol.NewSPD(n, 99)
+
+	type condition struct {
+		name      string
+		scenarios []abftchol.Scenario
+	}
+	conditions := []condition{
+		{"no error", nil},
+		{"computation error", []abftchol.Scenario{abftchol.ComputationError(5, delta)}},
+		{"storage error", []abftchol.Scenario{abftchol.StorageError(6, delta)}},
+	}
+	schemes := []abftchol.Scheme{abftchol.SchemeEnhanced, abftchol.SchemeOnline, abftchol.SchemeOffline}
+
+	fmt.Printf("fault-tolerance capability, %dx%d real-arithmetic run (laptop profile)\n\n", n, n)
+	fmt.Printf("%-22s  %-18s  %9s  %8s  %11s  %9s\n",
+		"scheme", "condition", "time", "attempts", "corrections", "residual")
+	for _, sch := range schemes {
+		for _, cond := range conditions {
+			res, err := abftchol.Run(abftchol.Options{
+				Profile:          abftchol.Laptop(),
+				N:                n,
+				Scheme:           sch,
+				ConcurrentRecalc: true,
+				Data:             a,
+				Scenarios:        cond.scenarios,
+			})
+			if err != nil {
+				log.Fatalf("%s/%s: %v", sch, cond.name, err)
+			}
+			fmt.Printf("%-22s  %-18s  %8.4fs  %8d  %11d  %9.2g\n",
+				sch, cond.name, res.Time, res.Attempts, res.Corrections,
+				abftchol.Residual(a, res.L))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("reading the table:")
+	fmt.Println("  - enhanced-online-abft corrects both error types in place (1 attempt);")
+	fmt.Println("  - online-abft corrects the computation error but must redo the run on")
+	fmt.Println("    the storage error (2 attempts, ~2x time);")
+	fmt.Println("  - offline-abft must redo the run on either error;")
+	fmt.Println("  - every residual is at machine-epsilon scale: the final factor is")
+	fmt.Println("    always correct, the schemes differ only in how much time recovery costs.")
+}

@@ -1,0 +1,135 @@
+// Kalman: a large-state Kalman filter — another workload from the
+// paper's introduction — whose measurement-update Cholesky
+// factorizations run under Enhanced Online-ABFT while storage errors
+// strike them.
+//
+// The filter estimates a smooth field of 256 state variables from
+// noisy direct observations. Each update step factors the innovation
+// covariance S = P + R (a 256x256 SPD matrix) to apply the Kalman
+// gain; a memory error is injected into every factorization and
+// corrected in place, and the estimate still converges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"abftchol"
+)
+
+const (
+	dim     = 256  // state dimension (multiple of the laptop block size)
+	steps   = 6    // filter steps
+	procVar = 0.01 // process noise variance
+	measVar = 0.25 // measurement noise variance
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1960)) // Kalman's paper year
+
+	// Ground truth: a smooth field that drifts slowly.
+	truth := make([]float64, dim)
+	for i := range truth {
+		truth[i] = math.Sin(float64(i) / 12)
+	}
+
+	// Prior: zero mean, smooth covariance (exponential kernel) —
+	// SPD by construction, with a nugget for conditioning.
+	p := abftchol.NewMatrix(dim, dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			p.Set(i, j, math.Exp(-math.Abs(float64(i-j))/8))
+		}
+		p.Add(i, i, 0.05)
+	}
+	x := make([]float64, dim) // estimate
+
+	fmt.Printf("%5s  %12s  %10s  %12s  %8s\n", "step", "rms error", "attempts", "corrections", "logdetS")
+	for step := 0; step < steps; step++ {
+		// Drift the truth and take a noisy measurement z = truth + v.
+		for i := range truth {
+			truth[i] += procVar * rng.NormFloat64()
+		}
+		z := make([]float64, dim)
+		for i := range truth {
+			z[i] = truth[i] + math.Sqrt(measVar)*rng.NormFloat64()
+		}
+
+		// Innovation covariance S = P + R (H = I), factored under
+		// fault injection: one storage error per step, different
+		// location each time.
+		s := p.Clone()
+		for i := 0; i < dim; i++ {
+			s.Add(i, i, measVar)
+		}
+		res, err := abftchol.Run(abftchol.Options{
+			Profile:          abftchol.Laptop(),
+			N:                dim,
+			Scheme:           abftchol.SchemeEnhanced,
+			ConcurrentRecalc: true,
+			Data:             s,
+			Scenarios: []abftchol.Scenario{
+				abftchol.StorageError(2+step%4, 1e4),
+			},
+		})
+		if err != nil {
+			log.Fatalf("step %d: %v", step, err)
+		}
+		l := res.L
+
+		// Kalman gain K = P·S⁻¹, applied as x += K(z − x) and
+		// P -= K·P, both via triangular solves against L.
+		innov := make([]float64, dim)
+		for i := range innov {
+			innov[i] = z[i] - x[i]
+		}
+		w := append([]float64(nil), innov...)
+		if err := abftchol.Solve(l, w); err != nil { // w = S⁻¹(z − x)
+			log.Fatal(err)
+		}
+		for i := 0; i < dim; i++ {
+			dot := 0.0
+			for j := 0; j < dim; j++ {
+				dot += p.At(i, j) * w[j]
+			}
+			x[i] += dot
+		}
+		// Covariance update P = P − P·S⁻¹·P (Joseph-free form).
+		sp := p.Clone()                                   // will become S⁻¹·P
+		if err := abftchol.SolveMany(l, sp); err != nil { // sp = S⁻¹ P
+			log.Fatal(err)
+		}
+		newP := abftchol.NewMatrix(dim, dim)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				dot := 0.0
+				for k := 0; k < dim; k++ {
+					dot += p.At(i, k) * sp.At(k, j)
+				}
+				newP.Set(i, j, p.At(i, j)-dot)
+			}
+		}
+		p = newP
+		for i := 0; i < dim; i++ { // keep symmetric + process noise
+			for j := 0; j < i; j++ {
+				v := (p.At(i, j) + p.At(j, i)) / 2
+				p.Set(i, j, v)
+				p.Set(j, i, v)
+			}
+			p.Add(i, i, procVar)
+		}
+
+		rms := 0.0
+		for i := range x {
+			d := x[i] - truth[i]
+			rms += d * d
+		}
+		rms = math.Sqrt(rms / dim)
+		fmt.Printf("%5d  %12.5f  %10d  %12d  %8.1f\n",
+			step, rms, res.Attempts, res.Corrections, abftchol.LogDet(l))
+	}
+	fmt.Println("\nevery step's innovation factorization absorbed a memory error in place")
+	fmt.Println("(attempts stayed 1) and the filter converged toward the noise floor.")
+}

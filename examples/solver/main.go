@@ -1,0 +1,105 @@
+// Solver: a linear least-squares fit by normal equations — one of the
+// workloads the paper's introduction motivates — running on the
+// fault-injected Enhanced Online-ABFT factorization.
+//
+// We build an overdetermined system X·w ≈ y with a known weight
+// vector, form the regularized normal equations (XᵀX + λI)·w = Xᵀy,
+// factor the SPD left-hand side while a storage error strikes the
+// factor mid-run, and recover the weights anyway.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"abftchol"
+)
+
+const (
+	rows   = 2048 // observations
+	params = 256  // fitted parameters (a multiple of the block size)
+	lambda = 1e-3 // ridge term keeping the normal equations comfortably SPD
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2016))
+
+	// Ground-truth weights and a noisy design matrix.
+	truth := make([]float64, params)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	x := abftchol.NewMatrix(rows, params)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		dot := 0.0
+		for j := 0; j < params; j++ {
+			v := rng.NormFloat64()
+			x.Set(i, j, v)
+			dot += v * truth[j]
+		}
+		y[i] = dot + 0.01*rng.NormFloat64() // small observation noise
+	}
+
+	// Normal equations: A = XᵀX + λI (SPD), b = Xᵀy.
+	a := abftchol.NewMatrix(params, params)
+	for i := 0; i < params; i++ {
+		for j := i; j < params; j++ {
+			s := 0.0
+			for r := 0; r < rows; r++ {
+				s += x.At(r, i) * x.At(r, j)
+			}
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+		a.Add(i, i, lambda)
+	}
+	b := make([]float64, params)
+	for j := 0; j < params; j++ {
+		s := 0.0
+		for r := 0; r < rows; r++ {
+			s += x.At(r, j) * y[r]
+		}
+		b[j] = s
+	}
+
+	// Factor A under fault injection: a memory bit corrupts an
+	// already-factored block right before it is read again. Enhanced
+	// Online-ABFT verifies before the read and repairs it in place.
+	res, err := abftchol.Run(abftchol.Options{
+		Profile:          abftchol.Laptop(),
+		N:                params,
+		Scheme:           abftchol.SchemeEnhanced,
+		ConcurrentRecalc: true,
+		Data:             a,
+		Scenarios:        []abftchol.Scenario{abftchol.StorageError(4, 1e4)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := append([]float64(nil), b...)
+	if err := abftchol.Solve(res.L, w); err != nil {
+		log.Fatal(err)
+	}
+
+	maxErr := 0.0
+	for i := range truth {
+		d := w[i] - truth[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("least-squares fit of %d parameters from %d observations\n", params, rows)
+	fmt.Printf("  injected faults          %d (corrected in place: %d elements)\n",
+		len(res.Injections), res.Corrections)
+	fmt.Printf("  factorization attempts   %d\n", res.Attempts)
+	fmt.Printf("  factor residual          %.3g\n", abftchol.Residual(a, res.L))
+	fmt.Printf("  max weight error         %.4f (vs noise floor ~0.01)\n", maxErr)
+	if res.Attempts == 1 && res.Corrections > 0 {
+		fmt.Println("  -> the storage error was repaired mid-factorization; no redo needed")
+	}
+}

@@ -1,0 +1,66 @@
+// Tuning: explore the paper's two tuning decisions on the simulated
+// evaluation machines —
+//
+//  1. Optimization 2's §V-B decision model: should checksum updating
+//     run on the CPU or on a concurrent GPU stream? (CPU wins on
+//     Tardis/Fermi, GPU wins on Bulldozer64/Kepler.)
+//  2. Optimization 3's verification interval K: overhead against
+//     protection as K grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abftchol"
+)
+
+func main() {
+	for _, prof := range []abftchol.Profile{abftchol.Tardis(), abftchol.Bulldozer64()} {
+		fmt.Printf("== %s (GPU %s, block %d) ==\n\n", prof.Name, prof.GPU.Name, prof.BlockSize)
+
+		fmt.Println("optimization 2: checksum-update placement by the decision model")
+		fmt.Printf("%10s  %10s\n", "n", "placement")
+		for _, n := range []int{5120, 10240, 20480, prof.MaxN} {
+			p := abftchol.DecideUpdatePlacement(prof, n, prof.BlockSize, 1)
+			fmt.Printf("%10d  %10v\n", n, p)
+		}
+		fmt.Println()
+
+		fmt.Println("measured: placement choices at the largest size")
+		n := prof.MaxN
+		base, err := abftchol.Run(abftchol.Options{Profile: prof, N: n, Scheme: abftchol.SchemeNone})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, place := range []abftchol.Placement{abftchol.PlaceInline, abftchol.PlaceCPU, abftchol.PlaceGPU, abftchol.PlaceAuto} {
+			res, err := abftchol.Run(abftchol.Options{
+				Profile: prof, N: n, Scheme: abftchol.SchemeEnhanced,
+				ConcurrentRecalc: true, Placement: place,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  placement %-7v  time %8.4fs  overhead %5.2f%%\n",
+				place, res.Time, (res.Time/base.Time-1)*100)
+		}
+		fmt.Println()
+
+		fmt.Println("optimization 3: verification interval K (overhead falls, protection window grows)")
+		fmt.Printf("%4s  %10s  %9s  %16s\n", "K", "time", "overhead", "verified blocks")
+		for _, k := range []int{1, 2, 3, 5, 8} {
+			res, err := abftchol.Run(abftchol.Options{
+				Profile: prof, N: n, Scheme: abftchol.SchemeEnhanced,
+				K: k, ConcurrentRecalc: true, Placement: abftchol.PlaceAuto,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%4d  %9.4fs  %8.2f%%  %16d\n",
+				k, res.Time, (res.Time/base.Time-1)*100, res.VerifiedBlocks)
+		}
+		fmt.Println()
+	}
+	fmt.Println("choose K by the machine's error rate: larger K lowers overhead but")
+	fmt.Println("widens the window in which a storage error can slip into a GEMM input.")
+}

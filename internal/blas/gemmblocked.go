@@ -1,0 +1,77 @@
+package blas
+
+// Cache-blocked kernel for the factorization's dominant case,
+// C -= A·Bᵀ with A (m x k) and B (n x k) both column-major. The naive
+// loop streams B with stride ldb on every innermost pass; here B's
+// tile is packed once into contiguous rows, and the inner kernel
+// updates a column block of C with unit-stride access on all three
+// operands. Dgemm dispatches to this automatically for large enough
+// NoTrans/Trans problems.
+
+const (
+	packKC = 128 // k-dimension tile
+	packNC = 64  // n-dimension tile (columns of C)
+)
+
+// gemmNTBlockedThreshold is the flop count above which packing pays
+// for itself.
+const gemmNTBlockedThreshold = 64 * 64 * 64
+
+// dgemmNTPacked computes C += alpha * A * Bᵀ (no beta handling; the
+// caller has already scaled C).
+func dgemmNTPacked(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	// pack holds a KC x NC tile of Bᵀ: pack[l*nc + j] = B[j0+j, l0+l].
+	pack := make([]float64, packKC*packNC)
+	for j0 := 0; j0 < n; j0 += packNC {
+		nc := packNC
+		if j0+nc > n {
+			nc = n - j0
+		}
+		for l0 := 0; l0 < k; l0 += packKC {
+			kc := packKC
+			if l0+kc > k {
+				kc = k - l0
+			}
+			// Pack Bᵀ tile: rows l (k-index), columns j.
+			for l := 0; l < kc; l++ {
+				row := pack[l*nc : l*nc+nc]
+				src := b[j0+(l0+l)*ldb:]
+				copy(row, src[:nc])
+			}
+			// C[:, j0:j0+nc] += alpha * A[:, l0:l0+kc] * pack, with the
+			// rank-1 updates fused four at a time: each pass over the
+			// C column applies four A columns, quartering the C (and
+			// cache) traffic of the naive loop.
+			for j := 0; j < nc; j++ {
+				ccol := c[(j0+j)*ldc : (j0+j)*ldc+m]
+				l := 0
+				for ; l+3 < kc; l += 4 {
+					ab0 := alpha * pack[(l+0)*nc+j]
+					ab1 := alpha * pack[(l+1)*nc+j]
+					ab2 := alpha * pack[(l+2)*nc+j]
+					ab3 := alpha * pack[(l+3)*nc+j]
+					if ab0 == 0 && ab1 == 0 && ab2 == 0 && ab3 == 0 {
+						continue
+					}
+					a0 := a[(l0+l)*lda : (l0+l)*lda+m]
+					a1 := a[(l0+l+1)*lda : (l0+l+1)*lda+m]
+					a2 := a[(l0+l+2)*lda : (l0+l+2)*lda+m]
+					a3 := a[(l0+l+3)*lda : (l0+l+3)*lda+m]
+					for i := range ccol {
+						ccol[i] += ab0*a0[i] + ab1*a1[i] + ab2*a2[i] + ab3*a3[i]
+					}
+				}
+				for ; l < kc; l++ {
+					ab := alpha * pack[l*nc+j]
+					if ab == 0 {
+						continue
+					}
+					acol := a[(l0+l)*lda : (l0+l)*lda+m]
+					for i, v := range acol {
+						ccol[i] += ab * v
+					}
+				}
+			}
+		}
+	}
+}

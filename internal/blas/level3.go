@@ -1,0 +1,197 @@
+package blas
+
+// Side selects which side a triangular operand multiplies from.
+type Side int
+
+const (
+	Left Side = iota
+	Right
+)
+
+// Dgemm computes C ← alpha*op(A)*op(B) + beta*C where op(A) is
+// m x k, op(B) is k x n, and C is m x n, all column-major.
+func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 || m == 0 || n == 0 {
+		return
+	}
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		// C += alpha * A(m x k) * B(k x n): rank-1 accumulation per
+		// (l, j) keeps the inner loop streaming down columns.
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			bcol := b[j*ldb : j*ldb+k]
+			for l := 0; l < k; l++ {
+				ab := alpha * bcol[l]
+				if ab == 0 {
+					continue
+				}
+				acol := a[l*lda : l*lda+m]
+				for i, v := range acol {
+					ccol[i] += ab * v
+				}
+			}
+		}
+	case transA == NoTrans && transB == Trans:
+		// C += alpha * A(m x k) * Bᵀ, B is n x k — the factorization's
+		// dominant shape; large problems go through the blocked,
+		// unrolled kernel.
+		if float64(m)*float64(n)*float64(k) >= gemmNTBlockedThreshold {
+			dgemmNTPacked(m, n, k, alpha, a, lda, b, ldb, c, ldc)
+			return
+		}
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				ab := alpha * b[j+l*ldb]
+				if ab == 0 {
+					continue
+				}
+				acol := a[l*lda : l*lda+m]
+				for i, v := range acol {
+					ccol[i] += ab * v
+				}
+			}
+		}
+	case transA == Trans && transB == NoTrans:
+		// C += alpha * Aᵀ * B, A is k x m: dot products down columns.
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			bcol := b[j*ldb : j*ldb+k]
+			for i := 0; i < m; i++ {
+				acol := a[i*lda : i*lda+k]
+				s := 0.0
+				for l, v := range acol {
+					s += v * bcol[l]
+				}
+				ccol[i] += alpha * s
+			}
+		}
+	default: // Trans, Trans
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for i := 0; i < m; i++ {
+				acol := a[i*lda : i*lda+k]
+				s := 0.0
+				for l, v := range acol {
+					s += v * b[j+l*ldb]
+				}
+				ccol[i] += alpha * s
+			}
+		}
+	}
+}
+
+// Dsyrk computes C ← alpha*A*Aᵀ + beta*C updating only the lower
+// triangle, where A is n x k and C is n x n.
+func Dsyrk(n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		col := c[j*ldc:]
+		if beta == 0 {
+			for i := j; i < n; i++ {
+				col[i] = 0
+			}
+		} else if beta != 1 {
+			for i := j; i < n; i++ {
+				col[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		ccol := c[j*ldc:]
+		for l := 0; l < k; l++ {
+			ab := alpha * a[j+l*lda]
+			if ab == 0 {
+				continue
+			}
+			acol := a[l*lda:]
+			for i := j; i < n; i++ {
+				ccol[i] += ab * acol[i]
+			}
+		}
+	}
+}
+
+// Dtrsm solves one of the triangular systems
+//
+//	Left:  op(L) * X = alpha*B   (X overwrites B, B is m x n)
+//	Right: X * op(L) = alpha*B
+//
+// where L is lower triangular with non-unit diagonal. Only the lower
+// storage of L is referenced.
+func Dtrsm(side Side, transL Transpose, m, n int, alpha float64, l []float64, ldl int, b []float64, ldb int) {
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+	switch {
+	case side == Left && transL == NoTrans:
+		// Solve L*X = B: forward substitution per column of B.
+		for j := 0; j < n; j++ {
+			Dtrsv(NoTrans, m, l, ldl, b[j*ldb:j*ldb+m])
+		}
+	case side == Left && transL == Trans:
+		for j := 0; j < n; j++ {
+			Dtrsv(Trans, m, l, ldl, b[j*ldb:j*ldb+m])
+		}
+	case side == Right && transL == NoTrans:
+		// X*L = B  =>  column k of X: x_k = (b_k - sum_{j>k} x_j*L[j,k]) / L[k,k]
+		for k := n - 1; k >= 0; k-- {
+			bk := b[k*ldb : k*ldb+m]
+			for j := k + 1; j < n; j++ {
+				ljk := l[j+k*ldl]
+				if ljk == 0 {
+					continue
+				}
+				bj := b[j*ldb : j*ldb+m]
+				for i := range bk {
+					bk[i] -= ljk * bj[i]
+				}
+			}
+			d := 1 / l[k+k*ldl]
+			for i := range bk {
+				bk[i] *= d
+			}
+		}
+	default: // Right, Trans
+		// X*Lᵀ = B  =>  column k: x_k = (b_k - sum_{j<k} x_j*L[k,j]) / L[k,k]
+		for k := 0; k < n; k++ {
+			bk := b[k*ldb : k*ldb+m]
+			for j := 0; j < k; j++ {
+				lkj := l[k+j*ldl]
+				if lkj == 0 {
+					continue
+				}
+				bj := b[j*ldb : j*ldb+m]
+				for i := range bk {
+					bk[i] -= lkj * bj[i]
+				}
+			}
+			d := 1 / l[k+k*ldl]
+			for i := range bk {
+				bk[i] *= d
+			}
+		}
+	}
+}

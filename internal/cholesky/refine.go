@@ -1,0 +1,129 @@
+package cholesky
+
+import (
+	"math"
+
+	"abftchol/internal/blas"
+	"abftchol/internal/mat"
+)
+
+// SolveRefined solves A·x = b using the factor l with iterative
+// refinement: after the triangular solves it computes the residual
+// r = b − A·x against the *original* matrix and applies the correction
+// A·δ = r, repeating up to maxIter times or until the residual stops
+// improving. Refinement recovers accuracy lost to rounding — and, for
+// unprotected factorizations, partially masks small factor errors —
+// at O(n²) per sweep. It returns the solution and the final residual
+// infinity norm.
+func SolveRefined(a, l *mat.Matrix, b []float64, maxIter int) ([]float64, float64, error) {
+	n := a.Rows
+	if a.Cols != n || l.Rows != n || l.Cols != n || len(b) < n {
+		return nil, 0, mat.ErrShape
+	}
+	if maxIter < 0 {
+		maxIter = 0
+	}
+	x := append([]float64(nil), b[:n]...)
+	if err := Solve(l, x); err != nil {
+		return nil, 0, err
+	}
+	r := make([]float64, n)
+	resNorm := func() float64 {
+		// r = b − A·x
+		copy(r, b[:n])
+		blas.Dgemv(blas.NoTrans, n, n, -1, a.Data, a.Stride, x, 1, r)
+		maxAbs := 0.0
+		for _, v := range r {
+			if av := math.Abs(v); av > maxAbs {
+				maxAbs = av
+			}
+		}
+		return maxAbs
+	}
+	best := resNorm()
+	for iter := 0; iter < maxIter && best > 0; iter++ {
+		delta := append([]float64(nil), r...)
+		if err := Solve(l, delta); err != nil {
+			return nil, 0, err
+		}
+		for i := range x {
+			x[i] += delta[i]
+		}
+		now := resNorm()
+		if now >= best {
+			// Converged (or stagnated): undo nothing, just stop.
+			best = now
+			break
+		}
+		best = now
+	}
+	return x, best, nil
+}
+
+// ConditionEst estimates the 2-norm condition number of the SPD matrix
+// whose factor is l, by power iteration on A = L·Lᵀ (largest
+// eigenvalue) and inverse iteration through the factor (smallest).
+// A few dozen iterations give order-of-magnitude accuracy, which is
+// what checksum-threshold reasoning needs.
+func ConditionEst(l *mat.Matrix, iters int) float64 {
+	n := l.Rows
+	if iters < 1 {
+		iters = 30
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n))
+	}
+	w := make([]float64, n)
+	applyA := func(dst, src []float64) {
+		// dst = L·(Lᵀ·src)
+		copy(dst, src)
+		// t = Lᵀ·src via gemv on the lower triangle.
+		t := make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := j; i < n; i++ {
+				s += l.At(i, j) * src[i]
+			}
+			t[j] = s
+		}
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j <= i; j++ {
+				s += l.At(i, j) * t[j]
+			}
+			dst[i] = s
+		}
+	}
+	normalize := func(x []float64) float64 {
+		nrm := blas.Dnrm2(n, x)
+		if nrm == 0 {
+			return 0
+		}
+		blas.Dscal(n, 1/nrm, x)
+		return nrm
+	}
+	lamMax := 0.0
+	for k := 0; k < iters; k++ {
+		applyA(w, v)
+		copy(v, w)
+		lamMax = normalize(v)
+	}
+	// Smallest eigenvalue via inverse iteration: solve A·w = v.
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n))
+	}
+	muMax := 0.0 // largest eigenvalue of A⁻¹
+	for k := 0; k < iters; k++ {
+		copy(w, v)
+		if err := Solve(l, w); err != nil {
+			return math.Inf(1)
+		}
+		copy(v, w)
+		muMax = normalize(v)
+	}
+	if muMax == 0 {
+		return math.Inf(1)
+	}
+	return lamMax * muMax
+}

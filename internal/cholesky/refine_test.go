@@ -1,0 +1,130 @@
+package cholesky
+
+import (
+	"math"
+	"testing"
+
+	"abftchol/internal/blas"
+	"abftchol/internal/mat"
+)
+
+func TestSolveRefinedImprovesResidual(t *testing.T) {
+	n := 64
+	a := mat.RandSPD(n, 21)
+	l := a.Clone()
+	if err := Factor(l, 8); err != nil {
+		t.Fatal(err)
+	}
+	want := mat.RandVector(n, 22)
+	b := make([]float64, n)
+	blas.Dgemv(blas.NoTrans, n, n, 1, a.Data, a.Stride, want, 0, b)
+
+	// Plain solve residual.
+	plain := append([]float64(nil), b...)
+	if err := Solve(l, plain); err != nil {
+		t.Fatal(err)
+	}
+	r0 := make([]float64, n)
+	copy(r0, b)
+	blas.Dgemv(blas.NoTrans, n, n, -1, a.Data, a.Stride, plain, 1, r0)
+	plainNorm := 0.0
+	for _, v := range r0 {
+		plainNorm = math.Max(plainNorm, math.Abs(v))
+	}
+
+	x, res, err := SolveRefined(a, l, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > plainNorm {
+		t.Fatalf("refinement worsened residual: %g > %g", res, plainNorm)
+	}
+	for i := range want {
+		if d := math.Abs(x[i] - want[i]); d > 1e-9 {
+			t.Fatalf("x[%d] off by %g", i, d)
+		}
+	}
+}
+
+func TestSolveRefinedRecoversFromSmallFactorDamage(t *testing.T) {
+	// A small perturbation in the factor (below any checksum threshold)
+	// leaves a slightly-wrong preconditioner; refinement against the
+	// pristine A still converges to the true solution.
+	n := 48
+	a := mat.RandSPD(n, 23)
+	l := a.Clone()
+	if err := Factor(l, 8); err != nil {
+		t.Fatal(err)
+	}
+	l.Add(n-1, 0, 1e-4)
+	want := mat.RandVector(n, 24)
+	b := make([]float64, n)
+	blas.Dgemv(blas.NoTrans, n, n, 1, a.Data, a.Stride, want, 0, b)
+
+	x, _, err := SolveRefined(a, l, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := range want {
+		maxErr = math.Max(maxErr, math.Abs(x[i]-want[i]))
+	}
+	if maxErr > 1e-8 {
+		t.Fatalf("refined solution off by %g", maxErr)
+	}
+}
+
+func TestSolveRefinedZeroIterIsPlainSolve(t *testing.T) {
+	n := 16
+	a := mat.RandSPD(n, 25)
+	l := a.Clone()
+	if err := Factor(l, 4); err != nil {
+		t.Fatal(err)
+	}
+	b := mat.RandVector(n, 26)
+	x, _, err := SolveRefined(a, l, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := append([]float64(nil), b...)
+	if err := Solve(l, plain); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != plain[i] {
+			t.Fatal("maxIter=0 must equal the plain solve")
+		}
+	}
+	if _, _, err := SolveRefined(mat.New(3, 4), l, b, 1); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+}
+
+func TestConditionEstIdentityAndScaled(t *testing.T) {
+	// cond(I) = 1.
+	l := mat.Eye(16)
+	if c := ConditionEst(l, 40); math.Abs(c-1) > 0.05 {
+		t.Fatalf("cond(I) estimated as %g", c)
+	}
+	// diag(1, ..., 1, 100): L = sqrt(diag), cond = 100.
+	n := 16
+	d := mat.Eye(n)
+	d.Set(n-1, n-1, 10) // L entry sqrt(100)
+	if c := ConditionEst(d, 60); c < 50 || c > 200 {
+		t.Fatalf("cond(diag) estimated as %g, want ~100", c)
+	}
+}
+
+func TestConditionEstRandomSPDSane(t *testing.T) {
+	n := 32
+	a := mat.RandSPD(n, 27)
+	l := a.Clone()
+	if err := Factor(l, 8); err != nil {
+		t.Fatal(err)
+	}
+	c := ConditionEst(l, 50)
+	// G·Gᵀ + n·I is well conditioned: cond modest and >= 1.
+	if c < 1 || c > 1e4 {
+		t.Fatalf("condition estimate %g implausible", c)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+// Flop and byte counts for every kernel the drivers launch. The
+// factorization counts follow MAGMA's accounting; the checksum counts
+// follow §VI of the paper (Tables III-V).
+
+// syrkFlops is the rank-k update of one B x B diagonal block against a
+// B x k factored row panel.
+func syrkFlops(b, k int) float64 {
+	return float64(b) * float64(b) * float64(k)
+}
+
+// gemmFlops is the trailing-panel update: (rows x B) -= (rows x k)(B x k)ᵀ.
+func gemmFlops(rows, b, k int) float64 {
+	return 2 * float64(rows) * float64(b) * float64(k)
+}
+
+// potf2Flops is the unblocked Cholesky of one B x B block.
+func potf2Flops(b int) float64 {
+	fb := float64(b)
+	return fb * fb * fb / 3
+}
+
+// trsmFlops is the panel triangular solve: (rows x B) · L⁻ᵀ.
+func trsmFlops(rows, b int) float64 {
+	return float64(rows) * float64(b) * float64(b)
+}
+
+// encodeFlops is the one-time cost of encoding the lower block
+// triangle with m checksum vectors: 2 ops per element per vector over
+// n²/2 elements = m·n² (2n² for the paper's m=2, §VI-1).
+func encodeFlops(m, n int) float64 {
+	return float64(m) * float64(n) * float64(n)
+}
+
+// chkUpdateRankKFlops is the checksum slab update
+// (rows x B) -= (rows x k)(B x k)ᵀ, covering both the SYRK and GEMM
+// checksum updates; rows = checksum vectors x block rows.
+func chkUpdateRankKFlops(rows, b, k int) float64 {
+	return 2 * float64(rows) * float64(b) * float64(k)
+}
+
+// chkUpdatePotf2Flops is Algorithm 2 over an m x B checksum slab.
+func chkUpdatePotf2Flops(m, b int) float64 {
+	return float64(m) * float64(b) * float64(b)
+}
+
+// chkUpdateTrsmFlops is the checksum slab solve (rows x B) · L⁻ᵀ.
+func chkUpdateTrsmFlops(rows, b int) float64 {
+	return float64(rows) * float64(b) * float64(b)
+}
+
+// recalcFlops is one block's checksum recalculation: m weighted column
+// sums over B² elements.
+func recalcFlops(m, b int) float64 {
+	return 2 * float64(m) * float64(b) * float64(b)
+}
+
+// recalcBytes is the traffic of one block recalculation: the block is
+// read once; the 2 x B result is negligible next to it.
+func recalcBytes(b int) float64 {
+	return 8 * float64(b) * float64(b)
+}
+
+// blockBytes is the size of one B x B block in bytes.
+func blockBytes(b int) float64 {
+	return 8 * float64(b) * float64(b)
+}
+
+// choleskyFlops is the headline n³/3 used for GFLOPS reporting.
+func choleskyFlops(n int) float64 {
+	fn := float64(n)
+	return fn * fn * fn / 3
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+)
+
+// Real-arithmetic runs on the paper machines' profiles. Their stock
+// block sizes (256/512) would make pure-Go test matrices huge, so the
+// block size is overridden — everything else (placement decision,
+// stream counts, concurrency depth, transfer modeling) exercises the
+// real tardis/bulldozer64 configurations.
+
+func TestRealPlaneOnPaperMachines(t *testing.T) {
+	for _, prof := range []hetsim.Profile{hetsim.Tardis(), hetsim.Bulldozer64()} {
+		n := 512
+		a := mat.RandSPD(n, 77)
+		res, err := Run(Options{
+			Profile:          prof,
+			N:                n,
+			BlockSize:        64,
+			Scheme:           SchemeEnhanced,
+			ConcurrentRecalc: true,
+			Placement:        PlaceAuto,
+			Data:             a,
+			Scenarios: []fault.Scenario{
+				func() fault.Scenario { s := fault.DefaultStorage(3); s.Delta = 1e5; return s }(),
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if r := mat.CholeskyResidual(a, res.L); r > 1e-11 {
+			t.Fatalf("%s residual %g", prof.Name, r)
+		}
+		if res.Attempts != 1 || res.Corrections == 0 {
+			t.Fatalf("%s: %+v", prof.Name, res)
+		}
+	}
+}
+
+func TestPlacementDecisionWithOverriddenBlock(t *testing.T) {
+	// The Auto decision uses the *run's* block size, not the profile's.
+	res, err := Run(Options{
+		Profile:   hetsim.Tardis(),
+		N:         512,
+		BlockSize: 64,
+		Scheme:    SchemeEnhanced,
+		Placement: PlaceAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DecideUpdatePlacement(hetsim.Tardis(), 512, 64, 1)
+	if res.Placement != want {
+		t.Fatalf("placement %v, decision model says %v", res.Placement, want)
+	}
+}
+
+func TestSchemesConsistentAcrossMachines(t *testing.T) {
+	// The machine changes timing, never numerics: the factors computed
+	// under different profiles are bit-identical (same issue order,
+	// same arithmetic).
+	n := 256
+	a := mat.RandSPD(n, 88)
+	var first *mat.Matrix
+	for _, prof := range []hetsim.Profile{hetsim.Laptop(), hetsim.Tardis(), hetsim.Bulldozer64()} {
+		res, err := Run(Options{
+			Profile: prof, N: n, BlockSize: 32,
+			Scheme: SchemeEnhanced, ConcurrentRecalc: true, Data: a,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if first == nil {
+			first = res.L
+			continue
+		}
+		if mat.MaxAbsDiff(first, res.L) != 0 {
+			t.Fatalf("%s: factor differs from the first machine's", prof.Name)
+		}
+	}
+}
+
+func TestTimingDiffersAcrossMachines(t *testing.T) {
+	// ...while the simulated times do differ (the K40c is faster).
+	tar, err := Run(Options{Profile: hetsim.Tardis(), N: 10240, Scheme: SchemeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bul, err := Run(Options{Profile: hetsim.Bulldozer64(), N: 10240, Scheme: SchemeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bul.Time >= tar.Time {
+		t.Fatalf("K40c (%gs) not faster than M2075 (%gs)", bul.Time, tar.Time)
+	}
+}

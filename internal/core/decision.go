@@ -1,0 +1,63 @@
+package core
+
+import "abftchol/internal/hetsim"
+
+// The Optimization 2 decision model (§V-B): choose whether checksum
+// updating runs on a separate GPU stream or on the otherwise-idle CPU,
+// from the machine's peak rates and the PCIe transfer rate.
+
+// DecisionInputs are the paper's model parameters for one run.
+type DecisionInputs struct {
+	N, B, K int
+	// PGPU is GPU peak (GFLOPS), PCPU the effective CPU throughput for
+	// the skinny checksum updates (GFLOPS), R the link rate (GB/s).
+	PGPU, PCPU, R float64
+}
+
+// DecisionTimes evaluates the two §V-B estimates (seconds):
+//
+//	T_pickGPU = (N_Cho + N_Upd + N_Rec) / P_GPU
+//	T_pickCPU = max((N_Cho + N_Rec)/P_GPU, N_Upd/P_CPU + D_upd/R)
+//
+// with N_Cho = n³/3, N_Upd = N_Rec = 2n³/(3B), and the extra
+// CPU-placement transfer volume D_upd = n³/(3KB²) elements.
+func DecisionTimes(in DecisionInputs) (tGPU, tCPU float64) {
+	n := float64(in.N)
+	b := float64(in.B)
+	k := float64(in.K)
+	if k < 1 {
+		k = 1
+	}
+	nCho := n * n * n / 3
+	nUpd := 2 * n * n * n / (3 * b)
+	nRec := nUpd
+	dUpdBytes := 8 * n * n * n / (3 * k * b * b)
+
+	pg := in.PGPU * 1e9
+	pc := in.PCPU * 1e9
+	r := in.R * 1e9
+
+	tGPU = (nCho + nUpd + nRec) / pg
+	gpuSide := (nCho + nRec) / pg
+	cpuSide := nUpd/pc + dUpdBytes/r
+	tCPU = gpuSide
+	if cpuSide > tCPU {
+		tCPU = cpuSide
+	}
+	return tGPU, tCPU
+}
+
+// DecideUpdatePlacement applies the model to a machine profile and
+// returns PlaceCPU or PlaceGPU.
+func DecideUpdatePlacement(prof hetsim.Profile, n, b, k int) Placement {
+	tGPU, tCPU := DecisionTimes(DecisionInputs{
+		N: n, B: b, K: k,
+		PGPU: prof.GPU.PeakGFLOPS,
+		PCPU: prof.CPUUpdateGFLOPS,
+		R:    prof.Link.BandwidthGBs,
+	})
+	if tCPU < tGPU {
+		return PlaceCPU
+	}
+	return PlaceGPU
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+
+	"abftchol/internal/checksum"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+)
+
+// exec carries the state of one factorization: the simulated platform
+// and streams, the (optional) real data, the checksum matrix, and the
+// fault bookkeeping. One exec serves all schemes; the driver decides
+// which steps to invoke.
+type exec struct {
+	opts      *Options
+	plat      *hetsim.Platform
+	n, b, nb  int
+	m         int // checksum vectors per block (2 in the paper)
+	bigSlots  int // slot occupancy of BLAS-3 kernels (leaves headroom for overlap)
+	placement Placement
+	code      *checksum.MultiCode // real-plane verifier for m > 2
+
+	inj *fault.Injector
+	led *fault.Ledger
+
+	// Real plane (nil in model plane): a is the working matrix ("GPU
+	// memory"), chk the m·nb x n checksum matrix, scratch an m x B
+	// recalculation buffer.
+	a       *mat.Matrix
+	chk     *mat.Matrix
+	scratch *mat.Matrix
+
+	// Streams: sc = GPU compute, sx = transfer queue, scpu = host
+	// queue (POTF2 + Algorithm 2), supd = checksum updates (GPU or
+	// CPU device per placement; == sc when inline), sver = the
+	// Optimization 1 fan-out for checksum recalculation.
+	sc   *hetsim.Stream
+	sx   *hetsim.Stream
+	scpu *hetsim.Stream
+	supd *hetsim.Stream
+	sver []*hetsim.Stream
+
+	trace *hetsim.Trace
+
+	verified  int
+	corrected int
+	failstop  int
+}
+
+func newExec(o *Options, nb int) *exec {
+	prof := o.Profile
+	if o.Scheme == SchemeCULA {
+		// CULA R18's dpotrf trails MAGMA's: model it as the same
+		// algorithm at reduced BLAS-3 efficiency.
+		for _, c := range []hetsim.Class{hetsim.ClassGEMM, hetsim.ClassSYRK, hetsim.ClassTRSM} {
+			prof.GPU.EffMax[c] *= prof.CULARelEff
+		}
+	}
+	plat := hetsim.NewPlatform(prof)
+	e := &exec{
+		opts: o,
+		plat: plat,
+		n:    o.N,
+		b:    o.BlockSize,
+		nb:   nb,
+		m:    o.ChecksumVectors,
+		led:  fault.NewLedger(),
+	}
+	// BLAS-3 kernels saturate the device. On GPUs with deep hardware
+	// concurrency (Kepler Hyper-Q) a one-slot headroom lets the small
+	// checksum-update kernels of Optimization 2 timeshare with them;
+	// on shallow-queue devices (Fermi) nothing co-runs with a GEMM,
+	// which is why the decision model sends updates to the CPU there.
+	e.bigSlots = prof.GPU.ConcurrentKernels
+	if e.bigSlots >= 4 {
+		e.bigSlots--
+	}
+	if o.Trace {
+		e.trace = plat.StartTrace()
+	}
+	e.sc = plat.GPUStream()
+	e.sx = plat.GPUStream()
+	e.scpu = plat.CPUStream()
+
+	e.placement = o.Placement
+	if !o.Scheme.FaultTolerant() {
+		e.placement = PlaceInline // irrelevant; nothing to place
+	} else if e.placement == PlaceAuto {
+		e.placement = DecideUpdatePlacement(o.Profile, e.n, e.b, o.K)
+	}
+	switch e.placement {
+	case PlaceCPU:
+		e.supd = plat.CPUStream()
+	case PlaceGPU:
+		e.supd = plat.GPUStream()
+	default: // PlaceInline
+		e.supd = e.sc
+	}
+
+	if o.ConcurrentRecalc {
+		for i := 0; i < prof.GPU.ConcurrentKernels; i++ {
+			e.sver = append(e.sver, plat.GPUStream())
+		}
+	} else {
+		e.sver = []*hetsim.Stream{e.sc}
+	}
+
+	e.inj = fault.NewInjector(e.led, o.Scenarios...)
+	if o.Data != nil {
+		e.a = o.Data.Clone()
+		e.scratch = mat.New(e.m, e.b)
+		if e.m > 2 {
+			e.code = checksum.NewMultiCode(e.m, e.b)
+		}
+		e.inj.Applier = e
+	}
+	return e
+}
+
+// reset restores the pristine input for a restart after an
+// unrecoverable error: the host serializes the machine, reloads the
+// data, and (for FT schemes) re-encodes. Injected scenarios stay
+// fired — the paper's experiments inject each error once, so the redo
+// runs clean.
+func (e *exec) reset() {
+	e.plat.AlignAll(e.plat.Sync())
+	if e.a != nil {
+		e.a.CopyFrom(e.opts.Data)
+	}
+	e.led.Reset()
+}
+
+// Corrupt implements fault.Applier on the real plane.
+func (e *exec) Corrupt(bi, bj, row, col int, delta float64, bit int) float64 {
+	blk := e.block(bi, bj)
+	old := blk.At(row, col)
+	nv := old + delta
+	if delta == 0 {
+		nv = fault.FlipBit(old, bit)
+	}
+	blk.Set(row, col, nv)
+	return nv - old
+}
+
+// block returns the real view of block (bi, bj); real plane only.
+func (e *exec) block(bi, bj int) *mat.Matrix {
+	return e.a.View(bi*e.b, bj*e.b, e.b, e.b)
+}
+
+// chkView returns the stored m x B checksum of block (bi, bj).
+func (e *exec) chkView(bi, bj int) *mat.Matrix {
+	return e.chk.View(e.m*bi, bj*e.b, e.m, e.b)
+}
+
+// ---- fault propagation bookkeeping -------------------------------
+
+// markPropagation records, before an update kernel runs, how pending
+// corruption in its inputs pollutes its outputs. The flags follow
+// §III's analysis, confirmed by the real-arithmetic plane:
+//
+//   - When the corrupt block's *data* feeds both the update kernel and
+//     the checksum update (the LC row panel in SYRK/GEMM, the L factor
+//     in TRSM), data and checksums go wrong in lockstep: the damage is
+//     checksum-consistent and no verification can see it. (For SYRK
+//     the cross term E·LCᵀ is detectable and verification "repairs"
+//     it, but the symmetric term LC·Eᵀ it cannot distinguish stays —
+//     the net effect is consistent corruption either way.)
+//   - When only the block's *stored checksums* feed the update (the
+//     LD slab in GEMM), the output's checksums keep tracking the
+//     correct result: the mismatch is detectable, and repairable
+//     exactly when the smear spans a single row (one wrong element
+//     per column, the capability of two checksum vectors).
+func (e *exec) markPropagation(op fault.Op, j int) {
+	if !e.led.AnyCorrupt() {
+		return
+	}
+	switch op {
+	case fault.OpSYRK:
+		for k := 0; k < j; k++ {
+			if e.led.IsCorrupt(j, k) {
+				e.led.Propagate(j, k, j, j, j, true, e.led.PendingWidth(j, k), -1)
+			}
+		}
+	case fault.OpGEMM:
+		for k := 0; k < j; k++ {
+			lcBad := e.led.IsCorrupt(j, k)
+			for i := j + 1; i < e.nb; i++ {
+				// An LD block's *stored checksums* feed the update, so
+				// only its checksum-visible damage propagates visibly;
+				// checksum-consistent damage yields checksum-consistent
+				// output damage (the checksums track the corrupt data).
+				// Damage D = E·LCᵀ lives in exactly the rows E damages,
+				// so the smear inherits the source's row profile.
+				rows, unknown := e.led.DetectableProfile(i, k)
+				if len(rows) == 1 && unknown == 0 {
+					e.led.Propagate(i, k, i, j, j, false, 1, rows[0])
+				} else if len(rows)+unknown > 0 {
+					e.led.Propagate(i, k, i, j, j, false, len(rows)+unknown, -1)
+				}
+				if w := e.led.ConsistentWidth(i, k); w > 0 {
+					e.led.Propagate(i, k, i, j, j, true, w, -1)
+				}
+				if lcBad {
+					e.led.Propagate(j, k, i, j, j, true, e.led.PendingWidth(j, k), -1)
+				}
+			}
+		}
+	case fault.OpTRSM:
+		if e.led.IsCorrupt(j, j) {
+			for i := j + 1; i < e.nb; i++ {
+				e.led.Propagate(j, j, i, j, j, true, e.led.PendingWidth(j, j), -1)
+			}
+		}
+	}
+}
+
+// ---- verification -------------------------------------------------
+
+// errUncorrectable is returned when verification finds corruption the
+// two-checksum code cannot repair; the driver restarts.
+type errUncorrectable struct {
+	BI, BJ int
+	Cause  error
+}
+
+func (e *errUncorrectable) Error() string {
+	return fmt.Sprintf("core: block (%d,%d) corrupted beyond checksum correction: %v", e.BI, e.BJ, e.Cause)
+}
+
+// verifyBlocks runs one pre-/post-operation verification batch over
+// the given blocks: a checksum-recalculation kernel per block (fanned
+// over the Optimization 1 streams when enabled), a compare, and any
+// needed corrections. It returns errUncorrectable when a block cannot
+// be repaired.
+func (e *exec) verifyBlocks(blocks [][2]int) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	// The recalculations read data (compute stream) and stored
+	// checksums (update stream); both must be current.
+	evData := e.sc.Record()
+	evChk := e.supd.Record()
+	for _, s := range e.sver {
+		s.Wait(evData)
+		s.Wait(evChk)
+	}
+	var firstErr error
+	for idx, blk := range blocks {
+		bi, bj := blk[0], blk[1]
+		s := e.sver[idx%len(e.sver)]
+		e.plat.GPU.Launch(s, hetsim.Kernel{
+			Name:  "chk-recalc",
+			Class: hetsim.ClassChkRecalc,
+			Flops: recalcFlops(e.m, e.b),
+			Bytes: recalcBytes(e.b),
+			Slots: 1,
+		})
+		e.verified++
+		if err := e.verifyOne(bi, bj); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// With CPU-resident checksums the recalculated rows cross the link
+	// for comparison: 2 x B doubles per block, batched per operation
+	// (§VI-6c: n³/(3KB²) elements over the whole run).
+	if e.placement == PlaceCPU {
+		for _, s := range e.sver {
+			e.sx.Wait(s.Record())
+		}
+		e.plat.Link.Transfer(e.sx, hetsim.DeviceToHost, 8*float64(e.m)*float64(e.b)*float64(len(blocks)))
+		e.sc.Wait(e.sx.Record())
+	} else {
+		for _, s := range e.sver {
+			e.sc.Wait(s.Record())
+		}
+	}
+	// The host must see the comparison outcome before it may issue the
+	// guarded operation: one device round trip per batch. This is the
+	// O(1/n) overhead component — per batch, not per block — that
+	// makes the relative overhead fall toward its constant (§VI-7).
+	e.sc.WaitTime(e.sc.Done() + e.opts.Profile.VerifyBatchSync)
+	return firstErr
+}
+
+// verifyOne performs the logical verification of one block: real
+// checksum arithmetic on the real plane, ledger resolution on the
+// model plane.
+func (e *exec) verifyOne(bi, bj int) error {
+	if e.a != nil {
+		var corrs []checksum.Correction
+		var err error
+		if e.code != nil {
+			corrs, err = e.code.VerifyAndCorrect(e.block(bi, bj), e.chkView(bi, bj), e.scratch)
+		} else {
+			corrs, err = checksum.VerifyAndCorrect(e.block(bi, bj), e.chkView(bi, bj), e.scratch)
+		}
+		e.corrected += len(corrs)
+		// Mirror into the ledger: detectable marks are now resolved.
+		e.clearDetectable(bi, bj)
+		if err != nil {
+			return &errUncorrectable{BI: bi, BJ: bj, Cause: err}
+		}
+		return nil
+	}
+	// Model plane: resolve pending injections. m checksum vectors
+	// repair up to m/2 wrong elements per block column, so the load on
+	// each column is what decides repairability: a width-w smear puts
+	// w errors in every column it touches, and single-element
+	// injections sharing a column add up.
+	pend := e.led.Pending(bi, bj)
+	if len(pend) == 0 {
+		return nil
+	}
+	// The per-column load is the number of distinct damaged *rows* a
+	// column sees: smears cover every column in their rows, singles
+	// only their own column, and damage sharing a row stacks into the
+	// same element (still one error per column).
+	var keep []fault.Injection
+	smearRows := make(map[int]bool)
+	unknownRows := 0
+	colRows := make(map[int]map[int]bool)
+	detected := 0
+	for _, in := range pend {
+		if !in.Detectable() {
+			keep = append(keep, in) // checksum-invisible; stays
+			continue
+		}
+		detected++
+		switch {
+		case in.Kind == fault.Propagated && in.EffectiveWidth() == 1 && in.Row >= 0:
+			smearRows[in.Row] = true
+		case in.Kind == fault.Propagated:
+			unknownRows += in.EffectiveWidth()
+		default:
+			if colRows[in.Col] == nil {
+				colRows[in.Col] = make(map[int]bool)
+			}
+			colRows[in.Col][in.Row] = true
+		}
+	}
+	if detected == 0 {
+		e.led.SetPending(bi, bj, keep)
+		return nil
+	}
+	worst := len(smearRows) + unknownRows
+	for _, rows := range colRows {
+		load := len(smearRows) + unknownRows
+		for r := range rows {
+			if !smearRows[r] {
+				load++
+			}
+		}
+		if load > worst {
+			worst = load
+		}
+	}
+	e.led.SetPending(bi, bj, keep)
+	if worst > e.m/2 {
+		return &errUncorrectable{BI: bi, BJ: bj,
+			Cause: fmt.Errorf("%d errors in one block column exceed the %d-vector code", worst, e.m)}
+	}
+	e.corrected += detected
+	return nil
+}
+
+// clearDetectable removes checksum-visible marks from a block's
+// pending set after a real-plane verification handled them.
+func (e *exec) clearDetectable(bi, bj int) {
+	pend := e.led.Pending(bi, bj)
+	if len(pend) == 0 {
+		return
+	}
+	var keep []fault.Injection
+	for _, in := range pend {
+		if !in.Detectable() {
+			keep = append(keep, in)
+		}
+	}
+	e.led.SetPending(bi, bj, keep)
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+)
+
+// doubleHit builds two storage errors striking the same column of the
+// same factored block at the same iteration — beyond the paper's
+// two-vector code, within reach of a four-vector one.
+func doubleHit(iter int) []fault.Scenario {
+	a := fault.DefaultStorage(iter)
+	a.Row, a.Col, a.Delta = 3, 7, 2e4
+	b := fault.DefaultStorage(iter)
+	b.Row, b.Col, b.Delta = 19, 7, -3e4
+	return []fault.Scenario{a, b}
+}
+
+func TestPairCodeRestartsOnDoubleColumnError(t *testing.T) {
+	o := laptopOpts(256, SchemeEnhanced)
+	o.Scenarios = doubleHit(4)
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if res.Attempts != 2 {
+		t.Fatalf("m=2 attempts = %d, want 2 (two errors in one column exceed it)", res.Attempts)
+	}
+}
+
+func TestFourVectorCorrectsDoubleColumnError(t *testing.T) {
+	o := laptopOpts(256, SchemeEnhanced)
+	o.ChecksumVectors = 4
+	o.Scenarios = doubleHit(4)
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if res.Attempts != 1 {
+		t.Fatalf("m=4 attempts = %d, want 1", res.Attempts)
+	}
+	if res.Corrections < 2 {
+		t.Fatalf("corrections = %d, want both elements repaired", res.Corrections)
+	}
+}
+
+func TestFourVectorModelAgreesWithReal(t *testing.T) {
+	for _, m := range []int{2, 4} {
+		real := laptopOpts(256, SchemeEnhanced)
+		real.ChecksumVectors = m
+		real.Scenarios = doubleHit(4)
+		rr := mustRun(t, real)
+
+		model := real
+		model.Data = nil
+		model.Scenarios = doubleHit(4)
+		mr := mustRun(t, model)
+		if rr.Attempts != mr.Attempts {
+			t.Fatalf("m=%d: real attempts %d, model attempts %d", m, rr.Attempts, mr.Attempts)
+		}
+	}
+}
+
+func TestFourVectorNoErrorStillCorrect(t *testing.T) {
+	o := laptopOpts(192, SchemeEnhanced)
+	o.ChecksumVectors = 4
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if res.Corrections != 0 {
+		t.Fatalf("phantom corrections %d with m=4", res.Corrections)
+	}
+}
+
+func TestChecksumVectorsValidation(t *testing.T) {
+	o := laptopOpts(64, SchemeEnhanced)
+	o.ChecksumVectors = 1
+	if _, err := Run(o); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+}
+
+func TestMultiVectorOverheadOrdering(t *testing.T) {
+	// More checksum vectors cost proportionally more (model plane).
+	prof := hetsim.Tardis()
+	base := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeNone})
+	prev := base.Time
+	for _, m := range []int{2, 4, 6} {
+		o := Options{
+			Profile: prof, N: 10240, Scheme: SchemeEnhanced,
+			ConcurrentRecalc: true, Placement: PlaceAuto, ChecksumVectors: m,
+		}
+		r := mustRun(t, o)
+		if r.Time <= prev {
+			t.Fatalf("m=%d not slower than previous (%g <= %g)", m, r.Time, prev)
+		}
+		prev = r.Time
+	}
+}
+
+func TestConsistentLDPropagationStaysInvisible(t *testing.T) {
+	// A block whose corruption is checksum-consistent must propagate
+	// checksum-consistent damage through GEMM: Online's post-update
+	// verification stays blind and only the final acceptance test
+	// catches it — the full 2x redo, not a partial one.
+	prof := hetsim.Tardis()
+	nb := 10240 / prof.BlockSize
+	stor := fault.DefaultStorage(nb / 3)
+	stor.Delta = 1e3
+	base := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeOnline,
+		ConcurrentRecalc: true, Placement: PlaceAuto})
+	res := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeOnline,
+		ConcurrentRecalc: true, Placement: PlaceAuto, Scenarios: []fault.Scenario{stor}})
+	ratio := res.Time / base.Time
+	if ratio < 1.95 || ratio > 2.1 {
+		t.Fatalf("online memory-error ratio %.3f, want ~2 (end-of-run detection)", ratio)
+	}
+}
+
+func TestCampaignAgainstRealArithmetic(t *testing.T) {
+	// A small randomized campaign on the real plane: whatever mix of
+	// in-place repairs and restarts happens, the final factor must be
+	// right.
+	n := 320
+	prof := hetsim.Laptop()
+	a := mat.RandSPD(n, 5)
+	scen := fault.Campaign(fault.CampaignConfig{
+		Blocks:           n / prof.BlockSize,
+		BlockSize:        prof.BlockSize,
+		RatePerIteration: 0.4,
+		Seed:             11,
+		Delta:            5e3,
+	})
+	if len(scen) == 0 {
+		t.Fatal("campaign generated no errors")
+	}
+	o := Options{
+		Profile: prof, N: n, Scheme: SchemeEnhanced,
+		ConcurrentRecalc: true, Data: a, Scenarios: scen, MaxAttempts: 10,
+	}
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if len(res.Injections) != len(scen) {
+		t.Fatalf("injected %d of %d campaign errors", len(res.Injections), len(scen))
+	}
+}
+
+func TestCampaignModelMatchesRealAttempts(t *testing.T) {
+	n := 320
+	prof := hetsim.Laptop()
+	for seed := int64(0); seed < 6; seed++ {
+		scen := fault.Campaign(fault.CampaignConfig{
+			Blocks:           n / prof.BlockSize,
+			BlockSize:        prof.BlockSize,
+			RatePerIteration: 0.3,
+			Seed:             seed,
+			Delta:            5e3,
+		})
+		real := Options{
+			Profile: prof, N: n, Scheme: SchemeEnhanced, K: 3,
+			ConcurrentRecalc: true, Data: mat.RandSPD(n, seed), Scenarios: scen, MaxAttempts: 12,
+		}
+		rr := mustRun(t, real)
+		model := real
+		model.Data = nil
+		model.Scenarios = fault.Campaign(fault.CampaignConfig{
+			Blocks: n / prof.BlockSize, BlockSize: prof.BlockSize,
+			RatePerIteration: 0.3, Seed: seed, Delta: 5e3,
+		})
+		mr := mustRun(t, model)
+		if rr.Attempts != mr.Attempts {
+			t.Errorf("seed %d: real attempts %d, model attempts %d", seed, rr.Attempts, mr.Attempts)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+)
+
+// Property tests over the driver: for arbitrary (seeded) inputs,
+// schemes, variants, and single-fault scenarios, the final factor on
+// the real plane is always correct — the schemes differ only in how
+// they get there.
+
+func TestPropertyFactorAlwaysCorrect(t *testing.T) {
+	f := func(rawSeed int64, rawScheme, rawVariant, rawN uint8) bool {
+		schemes := []Scheme{SchemeNone, SchemeOffline, SchemeOnline, SchemeEnhanced}
+		o := Options{
+			Profile: hetsim.Laptop(),
+			N:       96 + 32*int(rawN%4),
+			Scheme:  schemes[int(rawScheme)%len(schemes)],
+			Variant: Variant(int(rawVariant) % 2),
+			Data:    mat.RandSPD(96+32*int(rawN%4), rawSeed),
+		}
+		res, err := Run(o)
+		if err != nil {
+			return false
+		}
+		return mat.CholeskyResidual(o.Data, res.L) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySingleFaultAlwaysRecovered(t *testing.T) {
+	// Any single storage or computation error against any FT scheme
+	// ends in a correct factor (in place or by redo).
+	f := func(rawSeed int64, rawScheme, rawKind, rawIter uint8) bool {
+		schemes := []Scheme{SchemeOffline, SchemeOnline, SchemeEnhanced}
+		n := 256
+		nb := n / 32
+		iter := 1 + int(rawIter)%(nb-2)
+		var sc fault.Scenario
+		if rawKind%2 == 0 {
+			sc = fault.DefaultStorage(iter)
+		} else {
+			sc = fault.DefaultComputation(iter)
+		}
+		sc.Delta = 1e5
+		o := Options{
+			Profile:     hetsim.Laptop(),
+			N:           n,
+			Scheme:      schemes[int(rawScheme)%len(schemes)],
+			Scenarios:   []fault.Scenario{sc},
+			Data:        mat.RandSPD(n, rawSeed),
+			MaxAttempts: 4,
+		}
+		res, err := Run(o)
+		if err != nil {
+			return false
+		}
+		if len(res.Injections) != 1 {
+			return false
+		}
+		return mat.CholeskyResidual(o.Data, res.L) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnhancedNeverRestartsOnSingles(t *testing.T) {
+	// The paper's core claim as a property: the enhanced scheme (K=1)
+	// corrects any single error in still-live data in place.
+	rng := rand.New(rand.NewSource(321))
+	n := 256
+	nb := n / 32
+	for trial := 0; trial < 20; trial++ {
+		iter := 1 + rng.Intn(nb-2)
+		var sc fault.Scenario
+		if rng.Intn(2) == 0 {
+			sc = fault.DefaultStorage(iter)
+		} else {
+			sc = fault.DefaultComputation(iter)
+			sc.BI = iter + 1 + rng.Intn(nb-iter-1)
+			sc.BJ = iter
+		}
+		sc.Row = rng.Intn(32)
+		sc.Col = rng.Intn(32)
+		sc.Delta = float64(1+rng.Intn(1000)) * 100
+		o := Options{
+			Profile:   hetsim.Laptop(),
+			N:         n,
+			Scheme:    SchemeEnhanced,
+			Scenarios: []fault.Scenario{sc},
+			Data:      mat.RandSPD(n, int64(trial)),
+		}
+		res, err := Run(o)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, sc, err)
+		}
+		if res.Attempts != 1 {
+			t.Fatalf("trial %d: enhanced restarted on %+v", trial, sc)
+		}
+		if mat.CholeskyResidual(o.Data, res.L) > 1e-10 {
+			t.Fatalf("trial %d: wrong factor", trial)
+		}
+	}
+}
+
+func TestBlockSizeOverride(t *testing.T) {
+	o := laptopOpts(256, SchemeEnhanced)
+	o.BlockSize = 64 // instead of the profile's 32
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if res.B != 64 {
+		t.Fatalf("block size %d", res.B)
+	}
+	o.BlockSize = 48 // 256 % 48 != 0
+	if _, err := Run(o); err == nil {
+		t.Fatal("indivisible block size accepted")
+	}
+}
+
+func TestSingleBlockMatrix(t *testing.T) {
+	// n == B: one POTF2 and nothing else; every scheme must cope.
+	for _, sch := range []Scheme{SchemeNone, SchemeOffline, SchemeOnline, SchemeEnhanced} {
+		o := laptopOpts(32, sch)
+		res := mustRun(t, o)
+		checkFactor(t, o, res)
+	}
+}
+
+func TestTraceSurvivesRestart(t *testing.T) {
+	sc := fault.DefaultStorage(3)
+	sc.Delta = 1e6
+	o := laptopOpts(160, SchemeOffline)
+	o.Scenarios = []fault.Scenario{sc}
+	o.Trace = true
+	res := mustRun(t, o)
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	// The trace covers both attempts: roughly twice the POTF2 spans.
+	potf2 := res.Trace.ByName("potf2")
+	if len(potf2) < 9 { // 5 blocks x 2 attempts, minus the aborted tail
+		t.Fatalf("trace has %d potf2 spans across a restart", len(potf2))
+	}
+}
+
+func TestGFLOPSConsistency(t *testing.T) {
+	res := mustRun(t, Options{Profile: hetsim.Tardis(), N: 10240, Scheme: SchemeNone})
+	n := 10240.0
+	want := n * n * n / 3 / res.Time / 1e9
+	if d := res.GFLOPS - want; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("GFLOPS %g, want %g", res.GFLOPS, want)
+	}
+}
+
+func TestSpaceOverheadMatchesTableVI(t *testing.T) {
+	// Table VI §5: checksum space overhead is 2/B (m/B in general).
+	for _, m := range []int{2, 4} {
+		o := Options{Profile: hetsim.Tardis(), N: 10240, Scheme: SchemeEnhanced, ChecksumVectors: m}
+		res := mustRun(t, o)
+		want := float64(m) / float64(res.B)
+		got := res.ChecksumBytes / res.DataBytes
+		if d := got - want; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("m=%d: space overhead %g, want %g", m, got, want)
+		}
+	}
+	// Plain MAGMA stores no checksums.
+	res := mustRun(t, Options{Profile: hetsim.Tardis(), N: 10240, Scheme: SchemeNone})
+	if res.ChecksumBytes != 0 {
+		t.Fatal("baseline has checksum bytes")
+	}
+	if res.DataBytes != 8*10240*10240 {
+		t.Fatal("data bytes wrong")
+	}
+}

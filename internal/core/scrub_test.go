@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+)
+
+func TestScrubSchemeCorrectWithoutErrors(t *testing.T) {
+	o := laptopOpts(160, SchemeOnlineScrub)
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if res.Attempts != 1 || res.Corrections != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestScrubCatchesStorageErrorAtGate(t *testing.T) {
+	// With K=1 the scrub runs every iteration, so the storage error is
+	// repaired before the iteration's reads — like the enhanced
+	// scheme, but by brute force.
+	sc := fault.DefaultStorage(4)
+	sc.Delta = 1e5
+	o := laptopOpts(256, SchemeOnlineScrub)
+	o.K = 1
+	o.Scenarios = []fault.Scenario{sc}
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", res.Attempts)
+	}
+	if res.Corrections == 0 {
+		t.Fatal("scrub did not correct")
+	}
+}
+
+func TestScrubMissesErrorInsideWindow(t *testing.T) {
+	// With K=4, an error striking a non-gate iteration is consumed
+	// before the next scrub; the damage is checksum-consistent and the
+	// run must be redone — the window the enhanced scheme closes.
+	sc := fault.DefaultStorage(5) // 5 % 4 != 0
+	sc.Delta = 1e5
+	o := laptopOpts(256, SchemeOnlineScrub)
+	o.K = 4
+	o.Scenarios = []fault.Scenario{sc}
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (error inside the scrub window)", res.Attempts)
+	}
+}
+
+func TestScrubEnhancedEquivalentProtectionAtK1(t *testing.T) {
+	// Both close the storage-error window completely at K=1...
+	for _, sch := range []Scheme{SchemeEnhanced, SchemeOnlineScrub} {
+		for iter := 2; iter < 7; iter++ {
+			sc := fault.DefaultStorage(iter)
+			sc.Delta = 1e4
+			o := laptopOpts(256, sch)
+			o.K = 1
+			o.Scenarios = []fault.Scenario{sc}
+			res := mustRun(t, o)
+			if res.Attempts != 1 {
+				t.Fatalf("%s iter %d: attempts %d", sch, iter, res.Attempts)
+			}
+		}
+	}
+}
+
+func TestScrubCostsFarMoreThanEnhanced(t *testing.T) {
+	// ...but the scrub verifies the whole live triangle every
+	// iteration — Θ(N²) blocks per scrub against the enhanced scheme's
+	// targeted pre-reads — and the simulated overhead shows it.
+	prof := hetsim.Tardis()
+	base := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeNone})
+	enh := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeEnhanced,
+		K: 1, ConcurrentRecalc: true, Placement: PlaceAuto})
+	scrub := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeOnlineScrub,
+		K: 1, ConcurrentRecalc: true, Placement: PlaceAuto})
+	enhOvh := enh.Time/base.Time - 1
+	scrubOvh := scrub.Time/base.Time - 1
+	if scrubOvh < 1.5*enhOvh {
+		t.Fatalf("scrub overhead %.2f%% not clearly above enhanced %.2f%%", scrubOvh*100, enhOvh*100)
+	}
+	if scrub.VerifiedBlocks <= enh.VerifiedBlocks {
+		t.Fatalf("scrub verified %d <= enhanced %d", scrub.VerifiedBlocks, enh.VerifiedBlocks)
+	}
+}
+
+func TestScrubModelMatchesReal(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		sc := fault.DefaultStorage(5)
+		sc.Delta = 1e5
+		real := laptopOpts(256, SchemeOnlineScrub)
+		real.K = k
+		real.Scenarios = []fault.Scenario{sc}
+		rr := mustRun(t, real)
+		model := real
+		model.Data = nil
+		model.Scenarios = []fault.Scenario{sc}
+		mr := mustRun(t, model)
+		if rr.Attempts != mr.Attempts {
+			t.Fatalf("K=%d: real attempts %d, model %d", k, rr.Attempts, mr.Attempts)
+		}
+	}
+}
+
+func TestScrubSchemeName(t *testing.T) {
+	if SchemeOnlineScrub.String() != "online-abft+scrub" {
+		t.Fatal("name wrong")
+	}
+	if !SchemeOnlineScrub.FaultTolerant() {
+		t.Fatal("scrub scheme maintains checksums")
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"abftchol/internal/blas"
+	"abftchol/internal/checksum"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+)
+
+// This file launches every kernel and transfer of Algorithm 1 and its
+// checksum bookkeeping. Each step method (a) records propagation of
+// any pending corruption, (b) launches the simulated kernel (running
+// the real arithmetic body on the real plane), and (c) gives the
+// injector its chance to fire.
+
+// errFailStop marks a POTF2 positive-definiteness failure: the paper's
+// fail-stop outcome of an uncorrected error reaching the unblocked
+// factorization.
+var errFailStop = errors.New("core: POTF2 failed (matrix block not positive definite)")
+
+// encode performs the one-time checksum encoding of the input matrix
+// (real encode on the real plane, cost-only otherwise); with CPU
+// placement the checksum matrix then crosses the link to the host
+// (§VI-6a: 2n²/B elements).
+func (e *exec) encode() {
+	var body func()
+	if e.a != nil {
+		body = func() { e.chk = checksum.EncodeMatrixMulti(e.a, e.b, e.m) }
+	}
+	e.plat.GPU.Launch(e.sc, hetsim.Kernel{
+		Name:  "chk-encode",
+		Class: hetsim.ClassChkRecalc,
+		Flops: encodeFlops(e.m, e.n),
+		Bytes: 4 * float64(e.n) * float64(e.n),
+		Slots: e.bigSlots,
+		Body:  body,
+	})
+	if e.placement == PlaceCPU {
+		e.sx.Wait(e.sc.Record())
+		e.plat.Link.Transfer(e.sx, hetsim.DeviceToHost, 8*float64(e.m)*float64(e.n)*float64(e.n)/float64(e.b))
+		e.supd.Wait(e.sx.Record())
+	}
+}
+
+// syrk updates the diagonal block: A[j,j] -= LC·LCᵀ. The real body
+// applies the full symmetric update (not just the lower triangle) so
+// the block stays consistent with its column checksums.
+func (e *exec) syrk(j int) {
+	k := j * e.b
+	if k == 0 {
+		return
+	}
+	e.markPropagation(fault.OpSYRK, j)
+	var body func()
+	if e.a != nil {
+		diag := e.block(j, j)
+		body = func() {
+			blas.DgemmParallel(blas.NoTrans, blas.Trans, e.b, e.b, k,
+				-1, e.a.Data[j*e.b:], e.a.Stride,
+				e.a.Data[j*e.b:], e.a.Stride,
+				1, diag.Data, diag.Stride)
+		}
+	}
+	e.plat.GPU.Launch(e.sc, hetsim.Kernel{
+		Name:  fmt.Sprintf("syrk[%d]", j),
+		Class: hetsim.ClassSYRK,
+		Flops: syrkFlops(e.b, k),
+		Slots: e.bigSlots,
+		Body:  body,
+	})
+	e.inj.KernelTick(fault.OpSYRK, j, j, j)
+}
+
+// gemm updates the panel below the diagonal:
+// A[j+1:, j] -= A[j+1:, 0:k]·A[j, 0:k]ᵀ.
+func (e *exec) gemm(j int) {
+	k := j * e.b
+	m := e.nb - j - 1
+	if k == 0 || m == 0 {
+		return
+	}
+	rows := m * e.b
+	e.markPropagation(fault.OpGEMM, j)
+	var body func()
+	if e.a != nil {
+		r0 := (j + 1) * e.b
+		body = func() {
+			blas.DgemmParallel(blas.NoTrans, blas.Trans, rows, e.b, k,
+				-1, e.a.Data[r0:], e.a.Stride,
+				e.a.Data[j*e.b:], e.a.Stride,
+				1, e.a.Data[r0+j*e.b*e.a.Stride:], e.a.Stride)
+		}
+	}
+	e.plat.GPU.Launch(e.sc, hetsim.Kernel{
+		Name:  fmt.Sprintf("gemm[%d]", j),
+		Class: hetsim.ClassGEMM,
+		Flops: gemmFlops(rows, e.b, k),
+		Slots: e.bigSlots,
+		Body:  body,
+	})
+	for i := j + 1; i < e.nb; i++ {
+		e.inj.KernelTick(fault.OpGEMM, j, i, j)
+	}
+}
+
+// xferDiagD2H ships the updated diagonal block (plus its checksum row
+// for FT schemes) to the host for POTF2.
+func (e *exec) xferDiagD2H(j int) {
+	bytes := blockBytes(e.b)
+	if e.opts.Scheme.FaultTolerant() {
+		bytes += 8 * float64(e.m) * float64(e.b)
+	}
+	e.sx.Wait(e.sc.Record())
+	e.plat.Link.Transfer(e.sx, hetsim.DeviceToHost, bytes)
+	e.scpu.Wait(e.sx.Record())
+}
+
+// potf2 factors the diagonal block on the host. On the real plane it
+// returns errFailStop when the block is not positive definite — the
+// paper's fail-stop outcome when a large uncorrected error reaches the
+// unblocked factorization. On the model plane corruption rides through
+// (matching a moderate-magnitude error that leaves the block positive
+// definite) but any detectable smear is widened: the factorization's
+// row mixing spreads it beyond single-row correctability.
+func (e *exec) potf2(j int) error {
+	var failed error
+	var body func()
+	if e.a != nil {
+		diag := e.block(j, j)
+		body = func() {
+			if err := blas.Dpotf2(e.b, diag.Data, diag.Stride); err != nil {
+				failed = fmt.Errorf("%w: block %d: %v", errFailStop, j, err)
+				return
+			}
+			diag.LowerFromFull()
+		}
+	} else if pend := e.led.Pending(j, j); len(pend) > 0 {
+		widened := make([]fault.Injection, len(pend))
+		for i, in := range pend {
+			if in.Detectable() && in.EffectiveWidth() < 2 {
+				in.Width = 2
+				in.Row = -1 // row mixing: positions no longer known
+			}
+			widened[i] = in
+		}
+		e.led.SetPending(j, j, widened)
+	}
+	e.plat.CPU.Launch(e.scpu, hetsim.Kernel{
+		Name:  fmt.Sprintf("potf2[%d]", j),
+		Class: hetsim.ClassPOTF2,
+		Flops: potf2Flops(e.b),
+		Slots: 1,
+		Body:  body,
+	})
+	e.inj.KernelTick(fault.OpPOTF2, j, j, j)
+	if failed != nil {
+		e.failstop++
+	}
+	return failed
+}
+
+// xferDiagH2D returns the factored block (and checksum row) to the GPU
+// and releases the TRSM and its checksum update.
+func (e *exec) xferDiagH2D(j int) {
+	bytes := blockBytes(e.b)
+	ft := e.opts.Scheme.FaultTolerant()
+	if ft {
+		bytes += 8 * float64(e.m) * float64(e.b)
+	}
+	e.sx.Wait(e.scpu.Record())
+	e.plat.Link.Transfer(e.sx, hetsim.HostToDevice, bytes)
+	e.sc.Wait(e.sx.Record())
+	if ft && e.supd != e.sc {
+		e.supd.Wait(e.sx.Record())
+	}
+}
+
+// trsm solves the panel: A[j+1:, j] = A[j+1:, j]·L[j,j]⁻ᵀ.
+func (e *exec) trsm(j int) {
+	m := e.nb - j - 1
+	if m == 0 {
+		return
+	}
+	rows := m * e.b
+	e.markPropagation(fault.OpTRSM, j)
+	var body func()
+	if e.a != nil {
+		diag := e.block(j, j)
+		r0 := (j + 1) * e.b
+		body = func() {
+			blas.DtrsmParallel(blas.Right, blas.Trans, rows, e.b, 1,
+				diag.Data, diag.Stride,
+				e.a.Data[r0+j*e.b*e.a.Stride:], e.a.Stride)
+		}
+	}
+	e.plat.GPU.Launch(e.sc, hetsim.Kernel{
+		Name:  fmt.Sprintf("trsm[%d]", j),
+		Class: hetsim.ClassTRSM,
+		Flops: trsmFlops(rows, e.b),
+		Slots: e.bigSlots,
+		Body:  body,
+	})
+	for i := j + 1; i < e.nb; i++ {
+		e.inj.KernelTick(fault.OpTRSM, j, i, j)
+	}
+}
+
+// ---- checksum updating (§IV-B), placed per Optimization 2 ----------
+
+// updDevice returns the device the update stream belongs to.
+func (e *exec) updDevice() *hetsim.Device {
+	if e.placement == PlaceCPU {
+		return e.plat.CPU
+	}
+	return e.plat.GPU
+}
+
+// stageUpdates prepares iteration j's checksum updates: the update
+// stream must see the factored panel (ready since the previous
+// iteration's TRSM), and with CPU placement the panel data crosses the
+// link first (§VI-6b: n²/2 elements over the run).
+func (e *exec) stageUpdates(j int, evPanelReady hetsim.Event) {
+	e.supd.Wait(evPanelReady)
+	k := j * e.b
+	if e.placement == PlaceCPU && k > 0 {
+		e.sx.Wait(evPanelReady)
+		e.plat.Link.Transfer(e.sx, hetsim.DeviceToHost, 8*float64(e.b)*float64(k))
+		e.supd.Wait(e.sx.Record())
+	}
+}
+
+// updSYRK maintains chk(A[j,j]) -= chk(LC)·LCᵀ (Fig. 4).
+func (e *exec) updSYRK(j int) {
+	k := j * e.b
+	if k == 0 {
+		return
+	}
+	var body func()
+	if e.a != nil {
+		body = func() {
+			checksum.UpdateRankK(e.chkView(j, j), e.chk.View(e.m*j, 0, e.m, k), e.a.View(j*e.b, 0, e.b, k))
+		}
+	}
+	e.updDevice().Launch(e.supd, hetsim.Kernel{
+		Name:  fmt.Sprintf("chkupd-syrk[%d]", j),
+		Class: hetsim.ClassChkUpdate,
+		Flops: chkUpdateRankKFlops(e.m, e.b, k),
+		Slots: 1,
+		Body:  body,
+	})
+}
+
+// updGEMM maintains chk(A[i,j]) -= chk(LD_i)·LCᵀ for every panel row
+// in one slab call (Fig. 5).
+func (e *exec) updGEMM(j int) {
+	k := j * e.b
+	m := e.nb - j - 1
+	if k == 0 || m == 0 {
+		return
+	}
+	var body func()
+	if e.a != nil {
+		body = func() {
+			checksum.UpdateRankK(
+				e.chk.View(e.m*(j+1), j*e.b, e.m*m, e.b),
+				e.chk.View(e.m*(j+1), 0, e.m*m, k),
+				e.a.View(j*e.b, 0, e.b, k))
+		}
+	}
+	e.updDevice().Launch(e.supd, hetsim.Kernel{
+		Name:  fmt.Sprintf("chkupd-gemm[%d]", j),
+		Class: hetsim.ClassChkUpdate,
+		Flops: chkUpdateRankKFlops(e.m*m, e.b, k),
+		Slots: 1,
+		Body:  body,
+	})
+}
+
+// updPOTF2 runs Algorithm 2 on the host alongside the block it just
+// factored; the transformed checksum returns to the GPU with the block.
+func (e *exec) updPOTF2(j int) {
+	var body func()
+	if e.a != nil {
+		body = func() {
+			checksum.UpdatePOTF2(e.chkView(j, j), e.block(j, j))
+		}
+	}
+	e.plat.CPU.Launch(e.scpu, hetsim.Kernel{
+		Name:  fmt.Sprintf("chkupd-potf2[%d]", j),
+		Class: hetsim.ClassChkUpdate,
+		Flops: chkUpdatePotf2Flops(e.m, e.b),
+		Slots: 1,
+		Body:  body,
+	})
+}
+
+// updTRSM maintains chk(LB) = chk(B')·L⁻ᵀ for the whole panel slab
+// (Fig. 7).
+func (e *exec) updTRSM(j int) {
+	m := e.nb - j - 1
+	if m == 0 {
+		return
+	}
+	var body func()
+	if e.a != nil {
+		body = func() {
+			checksum.UpdateTRSM(e.chk.View(e.m*(j+1), j*e.b, e.m*m, e.b), e.block(j, j))
+		}
+	}
+	e.updDevice().Launch(e.supd, hetsim.Kernel{
+		Name:  fmt.Sprintf("chkupd-trsm[%d]", j),
+		Class: hetsim.ClassChkUpdate,
+		Flops: chkUpdateTrsmFlops(e.m*m, e.b),
+		Slots: 1,
+		Body:  body,
+	})
+}
+
+// ---- block-set helpers for the verification batches ----------------
+
+// rowPanelAndDiag lists the SYRK inputs at iteration j: the factored
+// row panel LC = (j, 0..j-1) and the diagonal block (j, j).
+func (e *exec) rowPanelAndDiag(j int) [][2]int {
+	out := make([][2]int, 0, j+1)
+	for k := 0; k < j; k++ {
+		out = append(out, [2]int{j, k})
+	}
+	return append(out, [2]int{j, j})
+}
+
+// trailingAndPanel lists the GEMM inputs at iteration j beyond the row
+// panel: the trailing slab LD = (i, 0..j-1) for i > j and the panel
+// blocks B = (i, j).
+func (e *exec) trailingAndPanel(j int) [][2]int {
+	var out [][2]int
+	for i := j + 1; i < e.nb; i++ {
+		for k := 0; k < j; k++ {
+			out = append(out, [2]int{i, k})
+		}
+		out = append(out, [2]int{i, j})
+	}
+	return out
+}
+
+// panelBlocks lists the blocks of panel column j below the diagonal.
+func (e *exec) panelBlocks(j int) [][2]int {
+	out := make([][2]int, 0, e.nb-j-1)
+	for i := j + 1; i < e.nb; i++ {
+		out = append(out, [2]int{i, j})
+	}
+	return out
+}
+
+// liveBlocks lists every block a scrub at iteration j must cover: the
+// factored region that will still be read (blocks (i, k), k < j <= i)
+// plus the untouched trailing region (i, k), j <= k <= i.
+func (e *exec) liveBlocks(j int) [][2]int {
+	var out [][2]int
+	for k := 0; k < e.nb; k++ {
+		lo := j
+		if k > lo {
+			lo = k
+		}
+		for i := lo; i < e.nb; i++ {
+			out = append(out, [2]int{i, k})
+		}
+	}
+	return out
+}
+
+// allLowerBlocks lists every block of the lower triangle (the
+// Offline-ABFT end-of-run verification set).
+func (e *exec) allLowerBlocks() [][2]int {
+	var out [][2]int
+	for j := 0; j < e.nb; j++ {
+		for i := j; i < e.nb; i++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+)
+
+func rightOpts(n int, scheme Scheme) Options {
+	o := laptopOpts(n, scheme)
+	o.Variant = RightLooking
+	return o
+}
+
+func TestRightLookingMatchesReference(t *testing.T) {
+	for _, n := range []int{32, 96, 256} {
+		o := rightOpts(n, SchemeNone)
+		res := mustRun(t, o)
+		checkFactor(t, o, res)
+	}
+}
+
+func TestRightLookingEqualsLeftLookingFactor(t *testing.T) {
+	n := 192
+	left := laptopOpts(n, SchemeEnhanced)
+	right := rightOpts(n, SchemeEnhanced)
+	lr := mustRun(t, left)
+	rr := mustRun(t, right)
+	if mat.MaxAbsDiff(lr.L, rr.L) > 1e-9 {
+		t.Fatalf("variants disagree by %g", mat.MaxAbsDiff(lr.L, rr.L))
+	}
+}
+
+func TestRightLookingAllSchemesCorrect(t *testing.T) {
+	for _, sch := range []Scheme{SchemeOffline, SchemeOnline, SchemeEnhanced} {
+		o := rightOpts(160, sch)
+		res := mustRun(t, o)
+		checkFactor(t, o, res)
+		if res.Attempts != 1 || res.Corrections != 0 {
+			t.Fatalf("%s right-looking: %+v", sch, res)
+		}
+	}
+}
+
+func TestRightLookingEnhancedCorrectsInjections(t *testing.T) {
+	// Right-looking retires each block the moment its column is
+	// factored and never reads it again, so storage errors must target
+	// still-live trailing data to be observable before the end.
+	stor := fault.DefaultStorage(4)
+	stor.BI, stor.BJ = 6, 5 // trailing block, still read and written
+	stor.Delta = 1e5
+	comp := fault.DefaultComputation(3)
+	comp.Op = fault.OpSYRK // trailing update output in the right-looking form
+	comp.Delta = 1e5
+	o := rightOpts(256, SchemeEnhanced)
+	o.Scenarios = []fault.Scenario{stor, comp}
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	if res.Corrections < 2 {
+		t.Fatalf("corrections = %d", res.Corrections)
+	}
+}
+
+func TestRightLookingOfflineRestartsOnStorageError(t *testing.T) {
+	stor := fault.DefaultStorage(4)
+	stor.BI, stor.BJ = 6, 5 // live trailing block: the damage propagates
+	stor.Delta = 1e6
+	o := rightOpts(256, SchemeOffline)
+	o.Scenarios = []fault.Scenario{stor}
+	res := mustRun(t, o)
+	checkFactor(t, o, res)
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+}
+
+func TestRightLookingRetiredBlocksEscapePreReadVerification(t *testing.T) {
+	// The flip side of the ablation: a storage error in an
+	// already-retired L block is invisible to the enhanced pre-read
+	// discipline in the right-looking form (nothing ever reads the
+	// block again), so only the end-of-run acceptance test catches it
+	// and the whole factorization must be redone. The left-looking
+	// form re-reads every factored block and repairs the same error in
+	// place — a second reason for the paper's inner-product choice.
+	stor := fault.DefaultStorage(4) // default target (4,3): retired at iteration 4
+	stor.Delta = 1e5
+	right := rightOpts(256, SchemeEnhanced)
+	right.Scenarios = []fault.Scenario{stor}
+	rr := mustRun(t, right)
+	checkFactor(t, right, rr)
+	if rr.Attempts != 2 {
+		t.Fatalf("right-looking attempts = %d, want 2 (retired block unprotected)", rr.Attempts)
+	}
+	left := laptopOpts(256, SchemeEnhanced)
+	left.Scenarios = []fault.Scenario{stor}
+	lr := mustRun(t, left)
+	if lr.Attempts != 1 {
+		t.Fatalf("left-looking attempts = %d, want 1 (repaired on re-read)", lr.Attempts)
+	}
+}
+
+func TestRightLookingVerificationVolumeComparable(t *testing.T) {
+	// Both disciplines verify Θ(N³/6K) blocks — right-looking re-checks
+	// every trailing block per iteration, left-looking re-checks the LD
+	// slab — so the volumes land within a few percent of each other.
+	left := mustRun(t, Options{Profile: hetsim.Laptop(), N: 512, Scheme: SchemeEnhanced})
+	right := mustRun(t, Options{Profile: hetsim.Laptop(), N: 512, Scheme: SchemeEnhanced, Variant: RightLooking})
+	lo, hi := left.VerifiedBlocks, right.VerifiedBlocks
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if float64(hi)/float64(lo) > 1.2 {
+		t.Fatalf("verification volumes diverge: left %d, right %d", left.VerifiedBlocks, right.VerifiedBlocks)
+	}
+}
+
+func TestRightLookingOverheadHigher(t *testing.T) {
+	// Model plane at paper scale: the enhanced right-looking form
+	// carries visibly more FT overhead — the quantitative argument for
+	// the paper's inner-product choice.
+	prof := hetsim.Tardis()
+	base := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeNone, Variant: RightLooking})
+	left := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeEnhanced,
+		ConcurrentRecalc: true, Placement: PlaceAuto})
+	right := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeEnhanced, Variant: RightLooking,
+		ConcurrentRecalc: true, Placement: PlaceAuto})
+	leftBase := mustRun(t, Options{Profile: prof, N: 10240, Scheme: SchemeNone})
+	leftOvh := left.Time/leftBase.Time - 1
+	rightOvh := right.Time/base.Time - 1
+	if rightOvh <= leftOvh {
+		t.Fatalf("right-looking overhead %.2f%% not above left-looking %.2f%%", rightOvh*100, leftOvh*100)
+	}
+}
+
+func TestRightLookingModelMatchesReal(t *testing.T) {
+	stor := fault.DefaultStorage(4)
+	stor.Delta = 1e5
+	for _, sch := range []Scheme{SchemeEnhanced, SchemeOffline} {
+		real := rightOpts(256, sch)
+		real.Scenarios = []fault.Scenario{stor}
+		rr := mustRun(t, real)
+		model := real
+		model.Data = nil
+		model.Scenarios = []fault.Scenario{stor}
+		mr := mustRun(t, model)
+		if rr.Attempts != mr.Attempts {
+			t.Fatalf("%s right-looking: real attempts %d, model %d", sch, rr.Attempts, mr.Attempts)
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if LeftLooking.String() != "left-looking" || RightLooking.String() != "right-looking" {
+		t.Fatal("variant names wrong")
+	}
+	if Variant(9).String() == "" {
+		t.Fatal("unknown variant must render")
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"abftchol/internal/hetsim"
+)
+
+// quickCfg keeps test runtimes modest while spanning two sweep points.
+var quickCfg = Config{Sizes: []int{5120, 10240}, CapabilityN: 7680}
+
+func parseSeconds(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestCapabilityTableShape(t *testing.T) {
+	// The paper's headline result (Tables VII/VIII): Enhanced is
+	// unaffected by either error type; Online doubles only on memory
+	// errors; Offline doubles on both.
+	for _, prof := range []hetsim.Profile{hetsim.Tardis(), hetsim.Bulldozer64()} {
+		tb := CapabilityTable(prof, quickCfg)
+		if len(tb.Rows) != 3 {
+			t.Fatalf("%s: %d rows", prof.Name, len(tb.Rows))
+		}
+		get := func(r, c int) float64 { return parseSeconds(t, tb.Rows[r][c+1]) }
+		// Row 0: enhanced. All three columns within 1%.
+		for c := 1; c < 3; c++ {
+			if ratio := get(0, c) / get(0, 0); ratio > 1.01 {
+				t.Fatalf("%s: enhanced slowed down by errors (col %d ratio %.3f)", prof.Name, c, ratio)
+			}
+		}
+		// Row 1: online. Computation ~1x, memory ~2x.
+		if ratio := get(1, 1) / get(1, 0); ratio > 1.05 {
+			t.Fatalf("%s: online computation-error ratio %.3f, want ~1", prof.Name, ratio)
+		}
+		if ratio := get(1, 2) / get(1, 0); ratio < 1.8 || ratio > 2.3 {
+			t.Fatalf("%s: online memory-error ratio %.3f, want ~2", prof.Name, ratio)
+		}
+		// Row 2: offline. Both ~2x.
+		for c := 1; c < 3; c++ {
+			if ratio := get(2, c) / get(2, 0); ratio < 1.8 || ratio > 2.3 {
+				t.Fatalf("%s: offline error ratio %.3f, want ~2", prof.Name, ratio)
+			}
+		}
+		// No-error times of all schemes within a few percent of each
+		// other ("all three ABFTs have similar execution time").
+		if r := get(0, 0) / get(2, 0); r > 1.10 {
+			t.Fatalf("%s: enhanced no-error %.3fx offline", prof.Name, r)
+		}
+	}
+}
+
+func TestOpt1FigureShape(t *testing.T) {
+	// Fig 8/9: opt1 always helps, and helps more on Kepler (Hyper-Q)
+	// than on Fermi.
+	gains := map[string]float64{}
+	for _, prof := range []hetsim.Profile{hetsim.Tardis(), hetsim.Bulldozer64()} {
+		f := Opt1Figure(prof, quickCfg)
+		before, after := f.Series[0], f.Series[1]
+		worst := 0.0
+		for i, p := range before.Points {
+			a := after.Points[i].Value
+			if a >= p.Value {
+				t.Fatalf("%s n=%d: opt1 did not reduce overhead (%.2f -> %.2f)", prof.Name, p.N, p.Value, a)
+			}
+			if g := p.Value - a; g > worst {
+				worst = g
+			}
+		}
+		gains[prof.Name] = worst
+	}
+	if gains["bulldozer64"] <= gains["tardis"] {
+		t.Fatalf("opt1 gain on bulldozer64 (%.2f) must exceed tardis (%.2f)", gains["bulldozer64"], gains["tardis"])
+	}
+}
+
+func TestOpt2FigureShape(t *testing.T) {
+	for _, prof := range []hetsim.Profile{hetsim.Tardis(), hetsim.Bulldozer64()} {
+		f := Opt2Figure(prof, quickCfg)
+		for i, p := range f.Series[0].Points {
+			if a := f.Series[1].Points[i].Value; a >= p.Value {
+				t.Fatalf("%s n=%d: opt2 did not help (%.2f -> %.2f)", prof.Name, p.N, p.Value, a)
+			}
+		}
+	}
+	// The decision matches §VII-D: CPU on tardis, GPU on bulldozer64.
+	if f := Opt2Figure(hetsim.Tardis(), quickCfg); !strings.Contains(f.Series[1].Label, "cpu") {
+		t.Fatalf("tardis opt2 label %q, want cpu", f.Series[1].Label)
+	}
+	if f := Opt2Figure(hetsim.Bulldozer64(), quickCfg); !strings.Contains(f.Series[1].Label, "gpu") {
+		t.Fatalf("bulldozer64 opt2 label %q, want gpu", f.Series[1].Label)
+	}
+}
+
+func TestOpt3FigureShape(t *testing.T) {
+	for _, prof := range []hetsim.Profile{hetsim.Tardis(), hetsim.Bulldozer64()} {
+		f := Opt3Figure(prof, quickCfg)
+		for i := range f.Series[0].Points {
+			k1 := f.Series[0].Points[i].Value
+			k3 := f.Series[1].Points[i].Value
+			k5 := f.Series[2].Points[i].Value
+			if !(k5 <= k3 && k3 < k1) {
+				t.Fatalf("%s: K ordering broken: K1=%.2f K3=%.2f K5=%.2f", prof.Name, k1, k3, k5)
+			}
+		}
+	}
+}
+
+func TestOverheadFigureShape(t *testing.T) {
+	// Fig 14/15: offline <= online <= enhanced; overhead falls (or at
+	// least does not grow) with n; everything stays single-digit.
+	for _, prof := range []hetsim.Profile{hetsim.Tardis(), hetsim.Bulldozer64()} {
+		f := OverheadFigure(prof, quickCfg)
+		off, on, enh := f.Series[0], f.Series[1], f.Series[2]
+		for i := range off.Points {
+			if !(off.Points[i].Value <= on.Points[i].Value && on.Points[i].Value <= enh.Points[i].Value) {
+				t.Fatalf("%s n=%d: ordering broken (%.2f, %.2f, %.2f)", prof.Name, off.Points[i].N,
+					off.Points[i].Value, on.Points[i].Value, enh.Points[i].Value)
+			}
+			if enh.Points[i].Value > 10 {
+				t.Fatalf("%s: enhanced overhead %.1f%% > 10%%", prof.Name, enh.Points[i].Value)
+			}
+			if off.Points[i].Value < 0 {
+				t.Fatalf("%s: negative overhead", prof.Name)
+			}
+		}
+		last := len(enh.Points) - 1
+		if enh.Points[last].Value > enh.Points[0].Value+1 {
+			t.Fatalf("%s: enhanced overhead grows with n (%.2f -> %.2f)",
+				prof.Name, enh.Points[0].Value, enh.Points[last].Value)
+		}
+	}
+}
+
+func TestPerformanceFigureShape(t *testing.T) {
+	// Fig 16/17: MAGMA fastest; every ABFT scheme beats CULA; GFLOPS
+	// grows with n.
+	for _, prof := range []hetsim.Profile{hetsim.Tardis(), hetsim.Bulldozer64()} {
+		f := PerformanceFigure(prof, quickCfg)
+		magma, cula := f.Series[0], f.Series[1]
+		for i := range magma.Points {
+			for si := 1; si < len(f.Series); si++ {
+				if f.Series[si].Points[i].Value > magma.Points[i].Value {
+					t.Fatalf("%s: %s beat MAGMA", prof.Name, f.Series[si].Label)
+				}
+			}
+			for si := 2; si < len(f.Series); si++ {
+				if f.Series[si].Points[i].Value <= cula.Points[i].Value {
+					t.Fatalf("%s: %s did not beat CULA (%.0f <= %.0f GF)", prof.Name,
+						f.Series[si].Label, f.Series[si].Points[i].Value, cula.Points[i].Value)
+				}
+			}
+		}
+		if magma.Points[len(magma.Points)-1].Value <= magma.Points[0].Value {
+			t.Fatalf("%s: GFLOPS did not grow with n", prof.Name)
+		}
+	}
+}
+
+func TestRegistryCoversEveryExperiment(t *testing.T) {
+	reg := Registry()
+	ids := IDs()
+	if len(ids) != 12 {
+		t.Fatalf("want 12 experiments (2 tables + 10 figures), have %d", len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+	// Odd figures / table8 run on bulldozer64, the rest on tardis.
+	if reg["table7"].Profile.Name != "tardis" || reg["table8"].Profile.Name != "bulldozer64" {
+		t.Fatal("capability tables bound to wrong machines")
+	}
+	if reg["fig9"].Profile.Name != "bulldozer64" || reg["fig8"].Profile.Name != "tardis" {
+		t.Fatal("fig8/9 machines wrong")
+	}
+}
+
+func TestRegistryRunnersProduceOutput(t *testing.T) {
+	reg := Registry()
+	tiny := Config{Sizes: []int{5120}, CapabilityN: 5120}
+	for _, id := range []string{"table7", "fig9", "fig12", "fig17"} {
+		ent := reg[id]
+		out := ent.Run(ent.Profile, tiny).String()
+		if !strings.Contains(strings.ToLower(out), id) {
+			t.Fatalf("%s output does not identify itself:\n%s", id, out)
+		}
+		if len(strings.Split(out, "\n")) < 3 {
+			t.Fatalf("%s output too short", id)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{
+		ID: "figX", Title: "demo", YLabel: "pct",
+		Series: []Series{
+			{Label: "a", Points: []Point{{5120, 1.5}, {10240, 2.5}}},
+			{Label: "b", Points: []Point{{5120, 3.5}}},
+		},
+	}
+	s := f.String()
+	if !strings.Contains(s, "FIGX") || !strings.Contains(s, "5120") {
+		t.Fatalf("render: %s", s)
+	}
+	if !strings.Contains(s, "-") {
+		t.Fatal("missing value not rendered as -")
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "n,a,b\n5120,1.5,3.5\n") {
+		t.Fatalf("csv: %s", csv)
+	}
+	if v, ok := f.Series[0].Value(10240); !ok || v != 2.5 {
+		t.Fatal("Series.Value broken")
+	}
+	if _, ok := f.Series[1].Value(10240); ok {
+		t.Fatal("Series.Value invented a point")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID: "tableX", Title: "demo",
+		Header: []string{"scheme", "time"},
+		Rows:   [][]string{{"enhanced", "1.0s"}},
+	}
+	s := tb.String()
+	if !strings.Contains(s, "TABLEX") || !strings.Contains(s, "enhanced") {
+		t.Fatalf("render: %s", s)
+	}
+	if csv := tb.CSV(); !strings.Contains(csv, "scheme,time\nenhanced,1.0s\n") {
+		t.Fatalf("csv: %s", csv)
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"abftchol/internal/hetsim"
+)
+
+func TestMultiVectorFigureShape(t *testing.T) {
+	f := MultiVectorFigure(hetsim.Tardis(), Config{Sizes: []int{5120, 10240}})
+	if len(f.Series) != 3 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	for i := range f.Series[0].Points {
+		m2 := f.Series[0].Points[i].Value
+		m4 := f.Series[1].Points[i].Value
+		m6 := f.Series[2].Points[i].Value
+		if !(m2 < m4 && m4 < m6) {
+			t.Fatalf("overhead must grow with m: %g %g %g", m2, m4, m6)
+		}
+		// The generalization must stay affordable: m=6 within a few
+		// points of the paper's m=2.
+		if m6-m2 > 4 {
+			t.Fatalf("m=6 costs %.2f points over m=2", m6-m2)
+		}
+	}
+}
+
+func TestCoverageStudyShape(t *testing.T) {
+	f := CoverageStudy(hetsim.Tardis(), Config{CapabilityN: 5120})
+	overhead, exposure, restarts := f.Series[0], f.Series[1], f.Series[2]
+	// K=1 is the fully protected baseline: nothing ever propagates.
+	if exposure.Points[0].Value != 0 || restarts.Points[0].Value != 0 {
+		t.Fatalf("K=1 must have zero exposure and restarts: %+v %+v", exposure.Points[0], restarts.Points[0])
+	}
+	// Exposure grows monotonically with K: corrupted data is read more
+	// often before its gate repairs it.
+	for i := 1; i < len(exposure.Points); i++ {
+		if exposure.Points[i].Value < exposure.Points[i-1].Value {
+			t.Fatalf("exposure not monotone in K: %+v", exposure.Points)
+		}
+	}
+	// Overhead with restarts included can never drop below the
+	// fault-free overhead floor by much; sanity bounds only.
+	for _, p := range overhead.Points {
+		if p.Value < 0 || p.Value > 400 {
+			t.Fatalf("overhead out of range: %+v", p)
+		}
+	}
+}
+
+func TestExtensionRegistry(t *testing.T) {
+	reg := Registry()
+	for _, id := range ExtensionIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("extension %s not registered", id)
+		}
+	}
+}
+
+func TestJSONOutputs(t *testing.T) {
+	f := &Figure{ID: "figj", Title: "t", YLabel: "y",
+		Series: []Series{{Label: "a", Points: []Point{{5120, 1.25}}}}}
+	js, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ID": "figj"`, `"Label": "a"`, `"Value": 1.25`} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("figure JSON missing %s:\n%s", want, js)
+		}
+	}
+	tb := &Table{ID: "tj", Title: "t", Header: []string{"h"}, Rows: [][]string{{"v"}}}
+	js, err = tb.JSON()
+	if err != nil || !strings.Contains(js, `"tj"`) {
+		t.Fatalf("table JSON: %v\n%s", err, js)
+	}
+	rep := &ShapeReport{Checks: []ShapeCheck{{ID: "c", Claim: "x", Pass: true}}}
+	js, err = rep.JSON()
+	if err != nil || !strings.Contains(js, `"Pass": true`) {
+		t.Fatalf("report JSON: %v\n%s", err, js)
+	}
+}
+
+func TestChooseKErrorFreePrefersLargeK(t *testing.T) {
+	c := ChooseK(hetsim.Tardis(), 10240, 0, 1, []int{1, 3, 8})
+	if c.BestK != 8 {
+		t.Fatalf("error-free tuning chose K=%d, want the largest candidate", c.BestK)
+	}
+	if len(c.Candidates) != 3 {
+		t.Fatalf("candidates %v", c.Candidates)
+	}
+	if !strings.Contains(c.String(), "choose K=8") {
+		t.Fatalf("render:\n%s", c)
+	}
+}
+
+func TestChooseKHighRatePrefersSmallK(t *testing.T) {
+	// At a punishing error rate the restarts at large K dominate and
+	// the tuner retreats to K <= 2 (the fully protected settings).
+	c := ChooseK(hetsim.Tardis(), 10240, 0.5, 10, []int{1, 2, 5, 8})
+	if c.BestK > 2 {
+		t.Fatalf("high-rate tuning chose K=%d, want <= 2:\n%s", c.BestK, c)
+	}
+	// Restart rates must be monotone-ish: the largest K restarts more
+	// than the smallest.
+	first, last := c.Candidates[0], c.Candidates[len(c.Candidates)-1]
+	if last.RestartRate <= first.RestartRate {
+		t.Fatalf("restart rate did not grow with K: %+v", c.Candidates)
+	}
+}
+
+func TestChooseKDefaults(t *testing.T) {
+	c := ChooseK(hetsim.Tardis(), 5120, 0, 0, nil)
+	if len(c.Candidates) != 5 {
+		t.Fatalf("default candidates: %v", c.Candidates)
+	}
+}
+
+func TestVariantFigureShape(t *testing.T) {
+	f := VariantFigure(hetsim.Tardis(), Config{Sizes: []int{5120, 10240}})
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	for i := range f.Series[0].Points {
+		// Both baselines produce positive GFLOPS and both enhanced
+		// overheads are positive and single-digit.
+		if f.Series[0].Points[i].Value <= 0 || f.Series[1].Points[i].Value <= 0 {
+			t.Fatal("non-positive GFLOPS")
+		}
+		for _, si := range []int{2, 3} {
+			v := f.Series[si].Points[i].Value
+			if v <= 0 || v > 10 {
+				t.Fatalf("overhead out of range: %g", v)
+			}
+		}
+	}
+}
+
+func TestScrubFigureShape(t *testing.T) {
+	f := ScrubFigure(hetsim.Tardis(), Config{Sizes: []int{5120, 10240}})
+	for i := range f.Series[0].Points {
+		enh := f.Series[0].Points[i].Value
+		scrub1 := f.Series[1].Points[i].Value
+		scrub5 := f.Series[2].Points[i].Value
+		if scrub1 <= enh {
+			t.Fatalf("scrub K=1 (%.2f%%) not above enhanced (%.2f%%)", scrub1, enh)
+		}
+		if scrub5 >= scrub1 {
+			t.Fatalf("scrub K=5 (%.2f%%) not below scrub K=1 (%.2f%%)", scrub5, scrub1)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	tar := hetsim.Tardis()
+	if got := cfg.sizes(tar); len(got) == 0 || got[0] != 5120 {
+		t.Fatalf("default sizes %v", got)
+	}
+	if got := cfg.capabilityN(tar); got != 20480 {
+		t.Fatalf("tardis capability n %d", got)
+	}
+	if got := cfg.capabilityN(hetsim.Bulldozer64()); got != 30720 {
+		t.Fatalf("bulldozer capability n %d", got)
+	}
+	if got := cfg.capabilityN(hetsim.Laptop()); got != hetsim.Laptop().MaxN {
+		t.Fatalf("laptop capability n %d", got)
+	}
+	cfg.CapabilityN = 7
+	if cfg.capabilityN(tar) != 7 {
+		t.Fatal("override ignored")
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "encoding/json"
+
+// JSON renders the figure as indented JSON for downstream tooling
+// (plotting scripts, regression dashboards).
+func (f *Figure) JSON() (string, error) {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// JSON renders the table as indented JSON.
+func (t *Table) JSON() (string, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// JSON renders the shape report as indented JSON.
+func (r *ShapeReport) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII chart: one mark per series, x =
+// matrix size, y = the figure's metric. Good enough to eyeball curve
+// shapes (falling overhead, crossovers) in a terminal.
+func (f *Figure) Plot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, float64(p.N))
+			maxX = math.Max(maxX, float64(p.N))
+			minY = math.Min(minY, p.Value)
+			maxY = math.Max(maxY, p.Value)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	// Pad the y range a touch so extremes stay visible.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			c := int((float64(p.N) - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((p.Value-minY)/(maxY-minY)*float64(height-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			grid[r][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(f.ID), f.Title)
+	for r, row := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%10.2f", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%10.2f", minY)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%10s  %-*d%*d\n", "", width/2, int(minX), width-width/2, int(maxX))
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Label)
+	}
+	fmt.Fprintf(&b, "  y: %s\n", f.YLabel)
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abftchol/internal/core"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+)
+
+// Config steers a runner.
+type Config struct {
+	// Sizes overrides the matrix-size sweep (default: Profile.Sizes()).
+	Sizes []int
+	// CapabilityN overrides the capability tables' matrix size
+	// (default: 20480 on tardis, 30720 on bulldozer64, MaxN otherwise).
+	CapabilityN int
+}
+
+func (c Config) sizes(prof hetsim.Profile) []int {
+	if len(c.Sizes) > 0 {
+		return c.Sizes
+	}
+	return prof.Sizes()
+}
+
+func (c Config) capabilityN(prof hetsim.Profile) int {
+	if c.CapabilityN > 0 {
+		return c.CapabilityN
+	}
+	switch prof.Name {
+	case "tardis":
+		return 20480
+	case "bulldozer64":
+		return 30720
+	}
+	return prof.MaxN
+}
+
+func mustRun(o core.Options) core.Result {
+	r, err := core.Run(o)
+	if err != nil {
+		// The experiments never exhaust MaxAttempts by construction;
+		// reaching this means the harness itself is misconfigured.
+		panic(fmt.Sprintf("experiments: %s n=%d: %v", o.Scheme, o.N, err))
+	}
+	return r
+}
+
+// baseline runs plain MAGMA at size n.
+func baseline(prof hetsim.Profile, n int) core.Result {
+	return mustRun(core.Options{Profile: prof, N: n, Scheme: core.SchemeNone})
+}
+
+// overheadPct is the relative overhead of res against base, percent.
+func overheadPct(res, base core.Result) float64 {
+	return (res.Time/base.Time - 1) * 100
+}
+
+// enhanced builds the standard all-optimizations Enhanced options.
+func enhanced(prof hetsim.Profile, n, k int) core.Options {
+	return core.Options{
+		Profile: prof, N: n, Scheme: core.SchemeEnhanced,
+		K: k, ConcurrentRecalc: true, Placement: core.PlaceAuto,
+	}
+}
+
+// CapabilityTable reproduces Table VII (tardis) / Table VIII
+// (bulldozer64): execution time of the three ABFT schemes with no
+// error, one computation error, and one memory (storage) error
+// injected mid-factorization.
+func CapabilityTable(prof hetsim.Profile, cfg Config) *Table {
+	n := cfg.capabilityN(prof)
+	nb := n / prof.BlockSize
+	id := "table7"
+	if prof.Name == "bulldozer64" {
+		id = "table8"
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("fault tolerance capability on %s with %dx%d Cholesky decomposition", prof.Name, n, n),
+		Header: []string{"scheme", "no error", "computation error", "memory error"},
+	}
+	comp := fault.DefaultComputation(nb / 3)
+	comp.Delta = 1e3
+	stor := fault.DefaultStorage(nb / 3)
+	stor.Delta = 1e3
+	for _, sch := range []core.Scheme{core.SchemeEnhanced, core.SchemeOnline, core.SchemeOffline} {
+		row := []string{sch.String()}
+		for _, scs := range [][]fault.Scenario{nil, {comp}, {stor}} {
+			o := core.Options{
+				Profile: prof, N: n, Scheme: sch, K: 1,
+				ConcurrentRecalc: true, Placement: core.PlaceAuto,
+				Scenarios: scs,
+			}
+			r := mustRun(o)
+			row = append(row, fmt.Sprintf("%.4fs", r.Time))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Opt1Figure reproduces Fig 8 (tardis) / Fig 9 (bulldozer64): the
+// Enhanced scheme's relative overhead before and after Optimization 1
+// (concurrent checksum recalculation on GPU streams).
+func Opt1Figure(prof hetsim.Profile, cfg Config) *Figure {
+	id := "fig8"
+	if prof.Name == "bulldozer64" {
+		id = "fig9"
+	}
+	f := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("optimization 1 (concurrent checksum recalculation) on %s", prof.Name),
+		YLabel: "relative overhead, percent",
+		Series: []Series{{Label: "before opt1"}, {Label: "after opt1"}},
+	}
+	for _, n := range cfg.sizes(prof) {
+		base := baseline(prof, n)
+		before := enhanced(prof, n, 1)
+		before.ConcurrentRecalc = false
+		after := enhanced(prof, n, 1)
+		f.Series[0].Points = append(f.Series[0].Points, Point{n, overheadPct(mustRun(before), base)})
+		f.Series[1].Points = append(f.Series[1].Points, Point{n, overheadPct(mustRun(after), base)})
+	}
+	return f
+}
+
+// Opt2Figure reproduces Fig 10 / Fig 11: overhead with checksum
+// updates serialized inline versus placed by the §V-B decision model
+// (CPU on tardis, a concurrent GPU stream on bulldozer64).
+func Opt2Figure(prof hetsim.Profile, cfg Config) *Figure {
+	id := "fig10"
+	if prof.Name == "bulldozer64" {
+		id = "fig11"
+	}
+	placed := core.DecideUpdatePlacement(prof, cfg.capabilityN(prof), prof.BlockSize, 1)
+	f := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("optimization 2 (checksum updating placement) on %s", prof.Name),
+		YLabel: "relative overhead, percent",
+		Series: []Series{{Label: "before opt2 (inline)"}, {Label: "after opt2 (" + placed.String() + ")"}},
+	}
+	for _, n := range cfg.sizes(prof) {
+		base := baseline(prof, n)
+		before := enhanced(prof, n, 1)
+		before.Placement = core.PlaceInline
+		after := enhanced(prof, n, 1)
+		f.Series[0].Points = append(f.Series[0].Points, Point{n, overheadPct(mustRun(before), base)})
+		f.Series[1].Points = append(f.Series[1].Points, Point{n, overheadPct(mustRun(after), base)})
+	}
+	return f
+}
+
+// Opt3Figure reproduces Fig 12 / Fig 13: overhead for verification
+// intervals K = 1, 3, 5.
+func Opt3Figure(prof hetsim.Profile, cfg Config) *Figure {
+	id := "fig12"
+	if prof.Name == "bulldozer64" {
+		id = "fig13"
+	}
+	f := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("optimization 3 (verification interval K) on %s", prof.Name),
+		YLabel: "relative overhead, percent",
+		Series: []Series{{Label: "K=1"}, {Label: "K=3"}, {Label: "K=5"}},
+	}
+	ks := []int{1, 3, 5}
+	for _, n := range cfg.sizes(prof) {
+		base := baseline(prof, n)
+		for si, k := range ks {
+			f.Series[si].Points = append(f.Series[si].Points, Point{n, overheadPct(mustRun(enhanced(prof, n, k)), base)})
+		}
+	}
+	return f
+}
+
+// OverheadFigure reproduces Fig 14 / Fig 15: relative overhead of
+// Offline-, Online-, and Enhanced Online-ABFT across the sweep.
+func OverheadFigure(prof hetsim.Profile, cfg Config) *Figure {
+	id := "fig14"
+	if prof.Name == "bulldozer64" {
+		id = "fig15"
+	}
+	f := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("overhead comparison on %s", prof.Name),
+		YLabel: "relative overhead, percent",
+		Series: []Series{{Label: "offline-abft"}, {Label: "online-abft"}, {Label: "enhanced-online-abft"}},
+	}
+	for _, n := range cfg.sizes(prof) {
+		base := baseline(prof, n)
+		for si, sch := range []core.Scheme{core.SchemeOffline, core.SchemeOnline, core.SchemeEnhanced} {
+			o := core.Options{
+				Profile: prof, N: n, Scheme: sch, K: 1,
+				ConcurrentRecalc: true, Placement: core.PlaceAuto,
+			}
+			f.Series[si].Points = append(f.Series[si].Points, Point{n, overheadPct(mustRun(o), base)})
+		}
+	}
+	return f
+}
+
+// PerformanceFigure reproduces Fig 16 / Fig 17: GFLOPS of MAGMA, CULA,
+// and the three ABFT schemes across the sweep.
+func PerformanceFigure(prof hetsim.Profile, cfg Config) *Figure {
+	id := "fig16"
+	if prof.Name == "bulldozer64" {
+		id = "fig17"
+	}
+	f := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("performance comparison on %s", prof.Name),
+		YLabel: "GFLOPS",
+		Series: []Series{
+			{Label: "magma"}, {Label: "cula"},
+			{Label: "offline-abft"}, {Label: "online-abft"}, {Label: "enhanced-online-abft"},
+		},
+	}
+	schemes := []core.Scheme{core.SchemeNone, core.SchemeCULA, core.SchemeOffline, core.SchemeOnline, core.SchemeEnhanced}
+	for _, n := range cfg.sizes(prof) {
+		for si, sch := range schemes {
+			o := core.Options{
+				Profile: prof, N: n, Scheme: sch, K: 1,
+				ConcurrentRecalc: true, Placement: core.PlaceAuto,
+			}
+			f.Series[si].Points = append(f.Series[si].Points, Point{n, mustRun(o).GFLOPS})
+		}
+	}
+	return f
+}
+
+// Runner produces one experiment's printable result.
+type Runner func(prof hetsim.Profile, cfg Config) fmt.Stringer
+
+// Registry maps experiment IDs (table7, table8, fig8..fig17) to their
+// runner and machine.
+func Registry() map[string]struct {
+	Profile hetsim.Profile
+	Run     Runner
+} {
+	tar, bul := hetsim.Tardis(), hetsim.Bulldozer64()
+	wrapT := func(fn func(hetsim.Profile, Config) *Table) Runner {
+		return func(p hetsim.Profile, c Config) fmt.Stringer { return fn(p, c) }
+	}
+	wrapF := func(fn func(hetsim.Profile, Config) *Figure) Runner {
+		return func(p hetsim.Profile, c Config) fmt.Stringer { return fn(p, c) }
+	}
+	return map[string]struct {
+		Profile hetsim.Profile
+		Run     Runner
+	}{
+		"table7": {tar, wrapT(CapabilityTable)},
+		"table8": {bul, wrapT(CapabilityTable)},
+		"fig8":   {tar, wrapF(Opt1Figure)},
+		"fig9":   {bul, wrapF(Opt1Figure)},
+		"fig10":  {tar, wrapF(Opt2Figure)},
+		"fig11":  {bul, wrapF(Opt2Figure)},
+		"fig12":  {tar, wrapF(Opt3Figure)},
+		"fig13":  {bul, wrapF(Opt3Figure)},
+		"fig14":  {tar, wrapF(OverheadFigure)},
+		"fig15":  {bul, wrapF(OverheadFigure)},
+		"fig16":  {tar, wrapF(PerformanceFigure)},
+		"fig17":  {bul, wrapF(PerformanceFigure)},
+		// Extensions beyond the paper's evaluation.
+		"ext-multivec": {tar, wrapF(MultiVectorFigure)},
+		"ext-coverage": {tar, wrapF(CoverageStudy)},
+		"ext-variant":  {tar, wrapF(VariantFigure)},
+		"ext-scrub":    {tar, wrapF(ScrubFigure)},
+	}
+}
+
+// IDs returns the experiment identifiers in presentation order.
+func IDs() []string {
+	return []string{
+		"table7", "table8",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17",
+	}
+}

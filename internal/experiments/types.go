@@ -1,0 +1,151 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section (§VII) on the simulated machines: the
+// fault-tolerance capability tables (VII, VIII), the optimization
+// studies (Figs 8-13), the overhead comparison (Figs 14-15), and the
+// performance comparison against CULA (Figs 16-17).
+//
+// Absolute numbers come from the calibrated cost model, so they match
+// the paper's tables only approximately; what the runners are expected
+// to reproduce is the paper's shape — who wins, by what factor, and
+// how the curves move with n, K, and the optimizations.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one x/y sample of a figure series.
+type Point struct {
+	N     int
+	Value float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Value returns the series value at n (NaN-free: ok=false if absent).
+func (s Series) Value(n int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.N == n {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a reproduced paper figure: several series over the
+// matrix-size sweep.
+type Figure struct {
+	ID     string // "fig8" ... "fig17"
+	Title  string
+	YLabel string
+	Series []Series
+}
+
+// String renders the figure as an aligned text table, one row per
+// matrix size, one column per series.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&b, "%10s", "n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %24s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for _, p := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%10d", p.N)
+		for _, s := range f.Series {
+			if v, ok := s.Value(p.N); ok {
+				fmt.Fprintf(&b, "  %24.3f", v)
+			} else {
+				fmt.Fprintf(&b, "  %24s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(%s)\n", f.YLabel)
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for _, p := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%d", p.N)
+		for _, s := range f.Series {
+			if v, ok := s.Value(p.N); ok {
+				fmt.Fprintf(&b, ",%g", v)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table is a reproduced paper table.
+type Table struct {
+	ID     string // "table7", "table8"
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(t.ID), t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"abftchol/internal/core"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+)
+
+// ShapeCheck is one qualitative claim of the paper's evaluation,
+// verified against the simulator. The claims are the reproduction
+// contract: who wins, by roughly what factor, where the trends go.
+type ShapeCheck struct {
+	ID     string
+	Claim  string
+	Pass   bool
+	Detail string
+}
+
+// ShapeReport runs a condensed version of every experiment and checks
+// the paper's qualitative claims programmatically. It is what
+// `abftchol -exp verify` prints: a reproducibility self-test.
+type ShapeReport struct {
+	Checks []ShapeCheck
+}
+
+// Passed reports whether every check passed.
+func (r *ShapeReport) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report.
+func (r *ShapeReport) String() string {
+	var b strings.Builder
+	b.WriteString("reproduction shape checks (paper claims vs simulator):\n")
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %-10s %s\n", status, c.ID, c.Claim)
+		if c.Detail != "" {
+			fmt.Fprintf(&b, "         %s\n", c.Detail)
+		}
+	}
+	if r.Passed() {
+		b.WriteString("all claims reproduced\n")
+	} else {
+		b.WriteString("SOME CLAIMS NOT REPRODUCED\n")
+	}
+	return b.String()
+}
+
+// RunShapeChecks executes the self-test. cfg.Sizes shortens the
+// sweeps; the capability checks run at cfg.CapabilityN (or a moderate
+// default).
+func RunShapeChecks(cfg Config) *ShapeReport {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{5120, 10240, 15360}
+	}
+	if cfg.CapabilityN == 0 {
+		cfg.CapabilityN = 10240
+	}
+	rep := &ShapeReport{}
+	add := func(id, claim string, pass bool, detail string, args ...interface{}) {
+		rep.Checks = append(rep.Checks, ShapeCheck{
+			ID: id, Claim: claim, Pass: pass, Detail: fmt.Sprintf(detail, args...),
+		})
+	}
+
+	tar, bul := hetsim.Tardis(), hetsim.Bulldozer64()
+
+	// Tables VII/VIII: capability ratios.
+	for _, prof := range []hetsim.Profile{tar, bul} {
+		tb := capabilityRatios(prof, cfg)
+		add("table7/8", fmt.Sprintf("%s: enhanced unaffected by both error classes", prof.Name),
+			tb.enhComp < 1.01 && tb.enhMem < 1.01,
+			"comp ratio %.3f, mem ratio %.3f", tb.enhComp, tb.enhMem)
+		add("table7/8", fmt.Sprintf("%s: online redoes only on memory errors (~2x)", prof.Name),
+			tb.onComp < 1.05 && tb.onMem > 1.8 && tb.onMem < 2.3,
+			"comp ratio %.3f, mem ratio %.3f", tb.onComp, tb.onMem)
+		add("table7/8", fmt.Sprintf("%s: offline redoes on both (~2x)", prof.Name),
+			tb.offComp > 1.8 && tb.offMem > 1.8,
+			"comp ratio %.3f, mem ratio %.3f", tb.offComp, tb.offMem)
+	}
+
+	// Fig 8/9: opt1 helps, more on Kepler than Fermi. The reported
+	// gains are large-n figures, so evaluate them at each machine's
+	// full size regardless of the (possibly shortened) sweep.
+	g8 := opt1Gain(tar, Config{Sizes: []int{tar.MaxN}})
+	g9 := opt1Gain(bul, Config{Sizes: []int{bul.MaxN}})
+	add("fig8", "opt1 reduces overhead on tardis (paper: ~2 points)", g8 > 0.5 && g8 < 6,
+		"gain %.2f points", g8)
+	add("fig9", "opt1 reduces overhead on bulldozer64 (paper: ~10 points)", g9 > 6 && g9 < 14,
+		"gain %.2f points", g9)
+	add("fig8/9", "opt1 gains more on Kepler than Fermi", g9 > g8, "%.2f vs %.2f points", g9, g8)
+
+	// Fig 10/11: decision model placement.
+	add("fig10", "decision model picks CPU on tardis",
+		core.DecideUpdatePlacement(tar, cfg.CapabilityN, tar.BlockSize, 1) == core.PlaceCPU, "")
+	add("fig11", "decision model picks GPU on bulldozer64",
+		core.DecideUpdatePlacement(bul, cfg.CapabilityN, bul.BlockSize, 1) == core.PlaceGPU, "")
+
+	// Fig 12/13: K reduces overhead.
+	f12 := Opt3Figure(tar, cfg)
+	lastIdx := len(f12.Series[0].Points) - 1
+	k1 := f12.Series[0].Points[lastIdx].Value
+	k5 := f12.Series[2].Points[lastIdx].Value
+	add("fig12/13", "overhead falls with K", k5 < k1, "K=1 %.2f%% -> K=5 %.2f%%", k1, k5)
+
+	// Fig 14/15: bounded, ordered overhead.
+	for _, prof := range []hetsim.Profile{tar, bul} {
+		bound := 6.0
+		if prof.Name == "bulldozer64" {
+			bound = 4.0
+		}
+		f := OverheadFigure(prof, cfg)
+		last := len(f.Series[2].Points) - 1
+		enh := f.Series[2].Points[last].Value
+		ordered := true
+		for i := range f.Series[0].Points {
+			if !(f.Series[0].Points[i].Value <= f.Series[1].Points[i].Value &&
+				f.Series[1].Points[i].Value <= f.Series[2].Points[i].Value) {
+				ordered = false
+			}
+		}
+		add("fig14/15", fmt.Sprintf("%s: offline <= online <= enhanced, enhanced < %.0f%%", prof.Name, bound),
+			ordered && enh < bound, "enhanced %.2f%% at n=%d", enh, f.Series[2].Points[last].N)
+	}
+
+	// Fig 16/17: enhanced beats CULA.
+	for _, prof := range []hetsim.Profile{tar, bul} {
+		f := PerformanceFigure(prof, cfg)
+		last := len(f.Series[0].Points) - 1
+		cula := f.Series[1].Points[last].Value
+		enh := f.Series[4].Points[last].Value
+		add("fig16/17", fmt.Sprintf("%s: enhanced outperforms CULA", prof.Name),
+			enh > cula, "enhanced %.0f vs CULA %.0f GFLOPS", enh, cula)
+	}
+
+	return rep
+}
+
+type capRatios struct {
+	enhComp, enhMem, onComp, onMem, offComp, offMem float64
+}
+
+func capabilityRatios(prof hetsim.Profile, cfg Config) capRatios {
+	run := func(sch core.Scheme, scen ...fault.Scenario) float64 {
+		o := core.Options{
+			Profile: prof, N: cfg.CapabilityN, Scheme: sch, K: 1,
+			ConcurrentRecalc: true, Placement: core.PlaceAuto,
+			Scenarios: scen,
+		}
+		return mustRun(o).Time
+	}
+	nb := cfg.CapabilityN / prof.BlockSize
+	comp := fault.DefaultComputation(nb / 3)
+	comp.Delta = 1e3
+	stor := fault.DefaultStorage(nb / 3)
+	stor.Delta = 1e3
+	var r capRatios
+	eb := run(core.SchemeEnhanced)
+	r.enhComp = run(core.SchemeEnhanced, comp) / eb
+	r.enhMem = run(core.SchemeEnhanced, stor) / eb
+	ob := run(core.SchemeOnline)
+	r.onComp = run(core.SchemeOnline, comp) / ob
+	r.onMem = run(core.SchemeOnline, stor) / ob
+	fb := run(core.SchemeOffline)
+	r.offComp = run(core.SchemeOffline, comp) / fb
+	r.offMem = run(core.SchemeOffline, stor) / fb
+	return r
+}
+
+func opt1Gain(prof hetsim.Profile, cfg Config) float64 {
+	f := Opt1Figure(prof, cfg)
+	last := len(f.Series[0].Points) - 1
+	return f.Series[0].Points[last].Value - f.Series[1].Points[last].Value
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapeChecksAllPass(t *testing.T) {
+	rep := RunShapeChecks(Config{Sizes: []int{5120, 10240}, CapabilityN: 7680})
+	if !rep.Passed() {
+		t.Fatalf("shape checks failed:\n%s", rep)
+	}
+	if len(rep.Checks) < 14 {
+		t.Fatalf("only %d checks ran", len(rep.Checks))
+	}
+	out := rep.String()
+	if !strings.Contains(out, "all claims reproduced") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("failures rendered:\n%s", out)
+	}
+}
+
+func TestShapeReportRendersFailures(t *testing.T) {
+	rep := &ShapeReport{Checks: []ShapeCheck{
+		{ID: "x", Claim: "should fail", Pass: false, Detail: "reason"},
+		{ID: "y", Claim: "fine", Pass: true},
+	}}
+	if rep.Passed() {
+		t.Fatal("Passed with a failing check")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "[FAIL]") || !strings.Contains(out, "SOME CLAIMS NOT REPRODUCED") {
+		t.Fatalf("failure rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "reason") {
+		t.Fatal("detail missing")
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	f := &Figure{
+		ID: "figp", Title: "plot demo", YLabel: "pct",
+		Series: []Series{
+			{Label: "low", Points: []Point{{5120, 1}, {10240, 2}, {15360, 3}}},
+			{Label: "high", Points: []Point{{5120, 10}, {10240, 8}, {15360, 6}}},
+		},
+	}
+	out := f.Plot(40, 10)
+	if !strings.Contains(out, "o = low") || !strings.Contains(out, "x = high") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatal("marks missing")
+	}
+	if !strings.Contains(out, "5120") || !strings.Contains(out, "15360") {
+		t.Fatalf("x axis missing:\n%s", out)
+	}
+	// The max label appears on the top row, the min on the bottom.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "10.") {
+		t.Fatalf("top label wrong: %q", lines[1])
+	}
+}
+
+func TestPlotDegenerateCases(t *testing.T) {
+	empty := &Figure{ID: "e", Title: "empty"}
+	if out := empty.Plot(40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+	flat := &Figure{
+		ID: "f", Title: "flat", YLabel: "v",
+		Series: []Series{{Label: "c", Points: []Point{{100, 5}, {200, 5}}}},
+	}
+	if out := flat.Plot(40, 10); !strings.Contains(out, "o = c") {
+		t.Fatal("flat series must still render")
+	}
+	single := &Figure{
+		ID: "s", Title: "single", YLabel: "v",
+		Series: []Series{{Label: "p", Points: []Point{{100, 5}}}},
+	}
+	if out := single.Plot(5, 2); out == "" {
+		t.Fatal("tiny plot must render")
+	}
+}

@@ -1,0 +1,72 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CampaignConfig describes a randomized storage-error campaign: the
+// multi-error workload used to study Optimization 3's trade-off
+// between verification interval and protection strength (§V-C: "K is
+// a parameter related to the failure rate of the system").
+type CampaignConfig struct {
+	// Blocks is the block count per matrix dimension (n / B).
+	Blocks int
+	// BlockSize is B, used to pick elements inside a block.
+	BlockSize int
+	// RatePerIteration is the expected number of storage errors
+	// striking per outer iteration (Poisson).
+	RatePerIteration float64
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Delta is the magnitude of each corruption.
+	Delta float64
+}
+
+// Campaign generates a reproducible list of storage-error scenarios:
+// at each outer iteration j >= 1, a Poisson(RatePerIteration) number
+// of errors strike uniformly random still-live factored blocks — a
+// block (i, k) with k < j <= i, i.e. data that has been written and
+// will be read again — at uniformly random elements.
+func Campaign(cfg CampaignConfig) []Scenario {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	delta := cfg.Delta
+	if delta == 0 {
+		delta = 100
+	}
+	var out []Scenario
+	for j := 1; j < cfg.Blocks; j++ {
+		for n := poisson(rng, cfg.RatePerIteration); n > 0; n-- {
+			k := rng.Intn(j)                // factored column
+			i := j + rng.Intn(cfg.Blocks-j) // row at or below the current panel
+			out = append(out, Scenario{
+				Kind:  Storage,
+				Iter:  j,
+				BI:    i,
+				BJ:    k,
+				Row:   rng.Intn(cfg.BlockSize),
+				Col:   rng.Intn(cfg.BlockSize),
+				Delta: delta,
+			})
+		}
+	}
+	return out
+}
+
+// poisson draws from Poisson(lambda) by Knuth's method; fine for the
+// small rates the campaigns use.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,109 @@
+// Package fault provides deterministic soft-error injection for the
+// ABFT Cholesky experiments, covering the two error classes the paper
+// distinguishes:
+//
+//   - computation errors ("1+1=3"): a kernel writes one wrong element
+//     into its output block, while the block's running checksum —
+//     updated by a separate operation — stays correct;
+//   - storage errors (memory bit flips): an element of a block that is
+//     already verified and resident in memory silently changes between
+//     the last verification and the next read.
+//
+// Injection works on both execution planes. On the real-data plane the
+// injector mutates the actual float64 buffers (flipping a mantissa or
+// exponent bit, or adding an offset). On the model plane there is no
+// data, so the injector records the corruption in a Ledger that the
+// model executor's "verification" consults; the ledger also tracks
+// propagation so the model plane knows when an error has polluted too
+// many elements for checksum correction, exactly the failure mode that
+// forces Offline- and Online-ABFT to redo the factorization.
+package fault
+
+import "fmt"
+
+// Kind classifies an injected (or derived) error.
+type Kind int
+
+const (
+	// Computation is a wrong element written by an update kernel; the
+	// block's checksum was updated correctly, so recalculation exposes
+	// the mismatch immediately.
+	Computation Kind = iota
+	// Storage is a bit flip in a resident, previously-verified block.
+	Storage
+	// Propagated marks corruption produced by *using* a corrupted
+	// block in an update: the wrongness smears across a whole row or
+	// column of the output and exceeds the one-error-per-column
+	// correction capability of the two-checksum code.
+	Propagated
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Computation:
+		return "computation"
+	case Storage:
+		return "storage"
+	case Propagated:
+		return "propagated"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Injection is one recorded corruption of one block.
+type Injection struct {
+	Kind Kind
+	// BI, BJ are the block coordinates (block row, block column).
+	BI, BJ int
+	// Row, Col locate the corrupted element inside the block
+	// (meaningless for Propagated, which affects many elements).
+	Row, Col int
+	// Delta is the amount added to the element (real plane); the
+	// checksum correction should recover exactly this.
+	Delta float64
+	// Iter is the outer iteration during which the error appeared.
+	Iter int
+	// Consistent marks propagated corruption whose checksum rows were
+	// updated from the same corrupted data (the paper's fatal case):
+	// the checksum invariant still holds over wrong data, so no
+	// checksum verification can see it — only an end-of-run acceptance
+	// test (or a broken POTF2 pivot) exposes it.
+	Consistent bool
+	// Width is how many distinct rows of the block a propagated smear
+	// spans (0 means 1). Two column checksums repair at most one wrong
+	// element per column, so a single-row smear is still correctable
+	// while anything wider is not.
+	Width int
+}
+
+func (in Injection) String() string {
+	return fmt.Sprintf("%s error in block (%d,%d) elem (%d,%d) iter %d delta %g",
+		in.Kind, in.BI, in.BJ, in.Row, in.Col, in.Iter, in.Delta)
+}
+
+// Detectable reports whether a checksum verification of the block can
+// notice this injection at all. Consistent propagation is invisible:
+// data and checksums were corrupted in lockstep.
+func (in Injection) Detectable() bool {
+	return !(in.Kind == Propagated && in.Consistent)
+}
+
+// Correctable reports whether a checksum verification of the block can
+// repair this injection: one wrong element per block column is
+// repairable, so plain injections and single-row inconsistent smears
+// are; consistent corruption (invisible) and wider smears are not.
+func (in Injection) Correctable() bool {
+	if in.Kind != Propagated {
+		return true
+	}
+	return !in.Consistent && in.Width <= 1
+}
+
+// EffectiveWidth is the row span this injection contributes when it
+// propagates onward.
+func (in Injection) EffectiveWidth() int {
+	if in.Width < 1 {
+		return 1
+	}
+	return in.Width
+}

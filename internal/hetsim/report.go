@@ -1,0 +1,86 @@
+package hetsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// UtilizationReport summarizes where a run's simulated time went: how
+// busy each resource was over the makespan and how each kernel class
+// contributed. Built from a Trace, so concurrent kernels are counted
+// by wall occupancy (union), not by summed durations.
+type UtilizationReport struct {
+	Makespan  float64
+	Resources []ResourceUtilization
+}
+
+// ResourceUtilization is one resource's share of the timeline.
+type ResourceUtilization struct {
+	Resource string
+	Busy     float64 // union of occupied intervals
+	// ClassBusy sums standalone span durations per class (overlap not
+	// subtracted), the attribution view.
+	ClassBusy map[Class]float64
+	ClassN    map[Class]int
+}
+
+// Utilization builds the report for everything the trace recorded up
+// to the given makespan (normally Platform.Sync()).
+func (t *Trace) Utilization(makespan float64) *UtilizationReport {
+	rep := &UtilizationReport{Makespan: makespan}
+	byRes := map[string]*ResourceUtilization{}
+	var order []string
+	for _, sp := range t.Spans {
+		ru, ok := byRes[sp.Resource]
+		if !ok {
+			ru = &ResourceUtilization{
+				Resource:  sp.Resource,
+				ClassBusy: map[Class]float64{},
+				ClassN:    map[Class]int{},
+			}
+			byRes[sp.Resource] = ru
+			order = append(order, sp.Resource)
+		}
+		ru.ClassBusy[sp.Class] += sp.Duration()
+		ru.ClassN[sp.Class]++
+	}
+	sort.Strings(order)
+	for _, res := range order {
+		ru := byRes[res]
+		ru.Busy = t.BusyTime(res)
+		rep.Resources = append(rep.Resources, *ru)
+	}
+	return rep
+}
+
+// String renders the report as an aligned table.
+func (r *UtilizationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "utilization over %.6fs:\n", r.Makespan)
+	for _, ru := range r.Resources {
+		frac := 0.0
+		if r.Makespan > 0 {
+			frac = ru.Busy / r.Makespan * 100
+		}
+		fmt.Fprintf(&b, "  %-4s busy %8.4fs (%5.1f%%)\n", ru.Resource, ru.Busy, frac)
+		// Classes sorted by contribution.
+		type kv struct {
+			c Class
+			d float64
+		}
+		var classes []kv
+		for c, d := range ru.ClassBusy {
+			classes = append(classes, kv{c, d})
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i].d > classes[j].d })
+		for _, e := range classes {
+			name := "Transfer"
+			if e.c >= 0 && int(e.c) < int(numClasses) {
+				name = e.c.String()
+			}
+			fmt.Fprintf(&b, "       %-10s %8.4fs  x%d\n", name, e.d, ru.ClassN[e.c])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+package hetsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trace records every kernel and transfer placed on the simulated
+// timeline so schedules can be inspected and asserted on: which
+// operations overlapped, how busy each device was, where the critical
+// path went. Attach one with Platform.StartTrace before issuing work.
+type Trace struct {
+	Spans []Span
+}
+
+// Span is one occupied interval on a resource.
+type Span struct {
+	Name     string
+	Class    Class
+	Resource string // "gpu", "cpu", "h2d", "d2h"
+	Stream   int
+	Start    float64
+	End      float64
+}
+
+// Duration returns the span length.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Overlaps reports whether two spans share timeline.
+func (s Span) Overlaps(o Span) bool {
+	return s.Start < o.End && o.Start < s.End
+}
+
+// add appends one span.
+func (t *Trace) add(sp Span) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, sp)
+}
+
+// ByName returns all spans whose name contains the substring.
+func (t *Trace) ByName(sub string) []Span {
+	var out []Span
+	for _, sp := range t.Spans {
+		if strings.Contains(sp.Name, sub) {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// ByClass returns all spans of one kernel class.
+func (t *Trace) ByClass(c Class) []Span {
+	var out []Span
+	for _, sp := range t.Spans {
+		if sp.Class == c && sp.Resource != "h2d" && sp.Resource != "d2h" {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// BusyTime returns the union length of the spans on one resource —
+// actual occupancy, with overlap between concurrent kernels counted
+// once.
+func (t *Trace) BusyTime(resource string) float64 {
+	var iv [][2]float64
+	for _, sp := range t.Spans {
+		if sp.Resource == resource {
+			iv = append(iv, [2]float64{sp.Start, sp.End})
+		}
+	}
+	return unionLength(iv)
+}
+
+// OverlapTime returns how long spans matching subA and subB (by name
+// substring) ran concurrently — e.g. OverlapTime("potf2", "gemm")
+// measures how well MAGMA hides the host factorization under the GPU
+// panel update.
+func (t *Trace) OverlapTime(subA, subB string) float64 {
+	a := t.ByName(subA)
+	b := t.ByName(subB)
+	total := 0.0
+	for _, sa := range a {
+		var iv [][2]float64
+		for _, sb := range b {
+			if sa.Overlaps(sb) {
+				lo := sa.Start
+				if sb.Start > lo {
+					lo = sb.Start
+				}
+				hi := sa.End
+				if sb.End < hi {
+					hi = sb.End
+				}
+				iv = append(iv, [2]float64{lo, hi})
+			}
+		}
+		total += unionLength(iv)
+	}
+	return total
+}
+
+// MaxConcurrency returns the largest number of simultaneously running
+// spans of one class — the realized concurrent-kernel depth.
+func (t *Trace) MaxConcurrency(c Class) int {
+	type ev struct {
+		t     float64
+		delta int
+	}
+	var evs []ev
+	for _, sp := range t.ByClass(c) {
+		if sp.Duration() <= 0 {
+			continue
+		}
+		evs = append(evs, ev{sp.Start, 1}, ev{sp.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta // close before open at equal times
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// Gantt renders a coarse ASCII timeline: one row per (resource,
+// stream), time bucketed into width columns. Intended for human
+// inspection of small runs.
+func (t *Trace) Gantt(width int) string {
+	if len(t.Spans) == 0 {
+		return "(empty trace)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	end := 0.0
+	rows := map[string][]Span{}
+	var keys []string
+	for _, sp := range t.Spans {
+		if sp.End > end {
+			end = sp.End
+		}
+		key := fmt.Sprintf("%s/%02d", sp.Resource, sp.Stream)
+		if _, ok := rows[key]; !ok {
+			keys = append(keys, key)
+		}
+		rows[key] = append(rows[key], sp)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline 0 .. %.6fs, one column = %.3gs\n", end, end/float64(width))
+	for _, key := range keys {
+		cells := make([]byte, width)
+		for i := range cells {
+			cells[i] = '.'
+		}
+		for _, sp := range rows[key] {
+			lo := int(sp.Start / end * float64(width))
+			hi := int(sp.End / end * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			mark := classMark(sp.Class)
+			for i := lo; i <= hi; i++ {
+				cells[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-8s |%s|\n", key, cells)
+	}
+	b.WriteString("G=gemm S=syrk T=trsm P=potf2 r=recalc u=update c=compare h=host x=xfer\n")
+	return b.String()
+}
+
+func classMark(c Class) byte {
+	switch c {
+	case ClassGEMM:
+		return 'G'
+	case ClassSYRK:
+		return 'S'
+	case ClassTRSM:
+		return 'T'
+	case ClassPOTF2:
+		return 'P'
+	case ClassChkRecalc:
+		return 'r'
+	case ClassChkUpdate:
+		return 'u'
+	case ClassChkCompare:
+		return 'c'
+	case ClassHost:
+		return 'h'
+	}
+	return 'x'
+}
+
+// unionLength sums interval lengths with overlaps counted once.
+func unionLength(iv [][2]float64) float64 {
+	if len(iv) == 0 {
+		return 0
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	total := 0.0
+	curLo, curHi := iv[0][0], iv[0][1]
+	for _, x := range iv[1:] {
+		if x[0] > curHi {
+			total += curHi - curLo
+			curLo, curHi = x[0], x[1]
+			continue
+		}
+		if x[1] > curHi {
+			curHi = x[1]
+		}
+	}
+	return total + (curHi - curLo)
+}

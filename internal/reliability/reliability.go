@@ -1,0 +1,108 @@
+// Package reliability converts device error-rate figures into the
+// per-factorization storage-error expectations that drive the choice
+// of Optimization 3's verification interval K ("a parameter related to
+// the failure rate of the system", §V-C).
+//
+// The paper's motivation (§I) cites the large-scale GPGPU study of
+// Haque & Pande, who found two-thirds of tested consumer GPUs exhibit
+// pattern-sensitive memory soft errors, and the GPGPU-SODA
+// vulnerability analysis of Tan et al. The standard way to quantify
+// such rates is FIT — failures in time, events per 10⁹ device-hours —
+// typically normalized per megabit of memory.
+package reliability
+
+import (
+	"fmt"
+	"math"
+)
+
+// FITPerMbit is a soft-error rate in failures per 10⁹ hours per
+// megabit of memory. Field studies of this era's DRAM/GDDR report
+// values from well under 1 (server DRAM with good shielding) to
+// thousands (high altitude, harsh environments, or the
+// pattern-sensitive cards in Haque & Pande's population).
+type FITPerMbit float64
+
+// Reference rates, order-of-magnitude figures from the literature the
+// paper builds on.
+const (
+	// ServerDRAM is a typical terrestrial server-grade figure.
+	ServerDRAM FITPerMbit = 1
+	// ConsumerGDDR reflects the pattern-sensitive consumer cards in
+	// the Haque & Pande study.
+	ConsumerGDDR FITPerMbit = 500
+	// HarshEnvironment stands in for high-altitude or poorly shielded
+	// deployments.
+	HarshEnvironment FITPerMbit = 5000
+)
+
+// Workload describes one factorization run for rate conversion.
+type Workload struct {
+	// N and B are the matrix and block dimensions.
+	N, B int
+	// Seconds is the factorization's expected duration.
+	Seconds float64
+	// ChecksumVectors sizes the checksum matrix (default 2).
+	ChecksumVectors int
+}
+
+// residentBits returns the protected memory footprint in bits: the
+// matrix plus its checksum matrix.
+func (w Workload) residentBits() float64 {
+	m := w.ChecksumVectors
+	if m == 0 {
+		m = 2
+	}
+	elems := float64(w.N) * float64(w.N)
+	if w.B > 0 {
+		elems += float64(m) * float64(w.N) * float64(w.N) / float64(w.B)
+	}
+	return elems * 64
+}
+
+// ExpectedErrors returns the expected number of storage errors
+// striking the resident data during one factorization at the given
+// rate.
+func ExpectedErrors(rate FITPerMbit, w Workload) float64 {
+	if w.Seconds <= 0 {
+		return 0
+	}
+	mbits := w.residentBits() / 1e6
+	perHour := float64(rate) * mbits / 1e9
+	return perHour * w.Seconds / 3600
+}
+
+// ErrorsPerIteration converts the expectation into the
+// per-outer-iteration rate the campaign generator and ChooseK consume.
+func ErrorsPerIteration(rate FITPerMbit, w Workload) float64 {
+	if w.B <= 0 || w.N < w.B {
+		return 0
+	}
+	iters := float64(w.N / w.B)
+	return ExpectedErrors(rate, w) / iters
+}
+
+// ProbabilityAtLeastOne is 1 − e^(−λ) for λ = ExpectedErrors: the
+// chance a given factorization is struck at all.
+func ProbabilityAtLeastOne(rate FITPerMbit, w Workload) float64 {
+	return 1 - math.Exp(-ExpectedErrors(rate, w))
+}
+
+// RunsBetweenErrors is the expected number of factorizations between
+// storage errors (infinity-ish for tiny rates; capped for display).
+func RunsBetweenErrors(rate FITPerMbit, w Workload) float64 {
+	lambda := ExpectedErrors(rate, w)
+	if lambda <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / lambda
+}
+
+// Describe renders the conversion for one rate and workload.
+func Describe(rate FITPerMbit, w Workload) string {
+	return fmt.Sprintf(
+		"%.0f FIT/Mbit over %.1f Mbit for %.2fs: %.3g errors/run (P>=1: %.2g%%), %.3g errors/iteration",
+		float64(rate), w.residentBits()/1e6, w.Seconds,
+		ExpectedErrors(rate, w), 100*ProbabilityAtLeastOne(rate, w),
+		ErrorsPerIteration(rate, w))
+}

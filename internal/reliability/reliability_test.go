@@ -1,0 +1,86 @@
+package reliability
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tardisRun is the paper's Table VII workload: 20480² doubles plus
+// checksums, ~10.5 s.
+var tardisRun = Workload{N: 20480, B: 256, Seconds: 10.5, ChecksumVectors: 2}
+
+func TestResidentBits(t *testing.T) {
+	// 20480² doubles = 3.2 GiB data; checksums add 2/256 of that.
+	bits := tardisRun.residentBits()
+	data := 20480.0 * 20480 * 64
+	want := data * (1 + 2.0/256)
+	if math.Abs(bits-want)/want > 1e-12 {
+		t.Fatalf("bits = %g, want %g", bits, want)
+	}
+	// Default vector count is 2.
+	w := tardisRun
+	w.ChecksumVectors = 0
+	if w.residentBits() != bits {
+		t.Fatal("default m != 2")
+	}
+}
+
+func TestExpectedErrorsScalesLinearly(t *testing.T) {
+	e1 := ExpectedErrors(ServerDRAM, tardisRun)
+	e500 := ExpectedErrors(ConsumerGDDR, tardisRun)
+	if math.Abs(e500/e1-500) > 1e-9 {
+		t.Fatalf("rate scaling broken: %g vs %g", e1, e500)
+	}
+	long := tardisRun
+	long.Seconds *= 10
+	if math.Abs(ExpectedErrors(ServerDRAM, long)/e1-10) > 1e-9 {
+		t.Fatal("time scaling broken")
+	}
+	if ExpectedErrors(ServerDRAM, Workload{N: 1024, B: 32}) != 0 {
+		t.Fatal("zero duration must give zero errors")
+	}
+}
+
+func TestMagnitudesAreSane(t *testing.T) {
+	// Server DRAM: a single 10-second factorization should essentially
+	// never be struck (one error per ~millions of runs).
+	if runs := RunsBetweenErrors(ServerDRAM, tardisRun); runs < 1e4 {
+		t.Fatalf("server DRAM: error every %g runs — too pessimistic", runs)
+	}
+	// Harsh environments: errors become a per-thousands-of-runs event,
+	// the regime where the paper's scheme matters for long campaigns.
+	if runs := RunsBetweenErrors(HarshEnvironment, tardisRun); runs > 1e7 {
+		t.Fatalf("harsh: error every %g runs — too optimistic", runs)
+	}
+	if p := ProbabilityAtLeastOne(HarshEnvironment, tardisRun); p <= 0 || p >= 1 {
+		t.Fatalf("probability %g out of range", p)
+	}
+}
+
+func TestErrorsPerIteration(t *testing.T) {
+	perIter := ErrorsPerIteration(ConsumerGDDR, tardisRun)
+	total := ExpectedErrors(ConsumerGDDR, tardisRun)
+	iters := 20480.0 / 256
+	if math.Abs(perIter*iters-total) > 1e-12 {
+		t.Fatalf("per-iteration conversion: %g * %g != %g", perIter, iters, total)
+	}
+	if ErrorsPerIteration(ConsumerGDDR, Workload{N: 10, B: 0, Seconds: 1}) != 0 {
+		t.Fatal("degenerate workload must give 0")
+	}
+}
+
+func TestRunsBetweenErrorsInfinity(t *testing.T) {
+	if !math.IsInf(RunsBetweenErrors(0, tardisRun), 1) {
+		t.Fatal("zero rate must give infinite spacing")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe(ConsumerGDDR, tardisRun)
+	for _, want := range []string{"FIT/Mbit", "errors/run", "errors/iteration"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("describe missing %q:\n%s", want, s)
+		}
+	}
+}

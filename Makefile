@@ -1,0 +1,35 @@
+# Single source of truth for the verification gates. CI
+# (.github/workflows/ci.yml) runs exactly these targets, so a green
+# `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race lint ci fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race gate takes a while (internal/core re-runs the factorization
+# property tests under the detector); it is still part of `make ci`.
+race:
+	$(GO) test -race ./...
+
+# lint = formatting + go vet + the repository's own analyzer suite
+# (cmd/abftlint: detsim, floateq, matindex, nakedgoroutine — see
+# docs/LINTING.md).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/abftlint ./...
+
+# Rewrite files in place to satisfy the formatting gate.
+fmt:
+	gofmt -w .
+
+ci: build lint race

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+// TestRepositoryIsClean runs the whole suite over the module exactly
+// as CI does; the tree must lint clean (intentional violations carry
+// //nolint justifications).
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	if code := run([]string{"../../..."}); code != 0 {
+		t.Fatalf("abftlint exited %d on the repository; run 'go run ./cmd/abftlint ./...' for the findings", code)
+	}
+}

@@ -59,8 +59,8 @@ func (e *exec) syrk(j int) {
 		diag := e.block(j, j)
 		body = func() {
 			blas.DgemmParallel(blas.NoTrans, blas.Trans, e.b, e.b, k,
-				-1, e.a.Data[j*e.b:], e.a.Stride,
-				e.a.Data[j*e.b:], e.a.Stride,
+				-1, e.a.Off(j*e.b, 0), e.a.Stride,
+				e.a.Off(j*e.b, 0), e.a.Stride,
 				1, diag.Data, diag.Stride)
 		}
 	}
@@ -89,9 +89,9 @@ func (e *exec) gemm(j int) {
 		r0 := (j + 1) * e.b
 		body = func() {
 			blas.DgemmParallel(blas.NoTrans, blas.Trans, rows, e.b, k,
-				-1, e.a.Data[r0:], e.a.Stride,
-				e.a.Data[j*e.b:], e.a.Stride,
-				1, e.a.Data[r0+j*e.b*e.a.Stride:], e.a.Stride)
+				-1, e.a.Off(r0, 0), e.a.Stride,
+				e.a.Off(j*e.b, 0), e.a.Stride,
+				1, e.a.Off(r0, j*e.b), e.a.Stride)
 		}
 	}
 	e.plat.GPU.Launch(e.sc, hetsim.Kernel{
@@ -193,7 +193,7 @@ func (e *exec) trsm(j int) {
 		body = func() {
 			blas.DtrsmParallel(blas.Right, blas.Trans, rows, e.b, 1,
 				diag.Data, diag.Stride,
-				e.a.Data[r0+j*e.b*e.a.Stride:], e.a.Stride)
+				e.a.Off(r0, j*e.b), e.a.Stride)
 		}
 	}
 	e.plat.GPU.Launch(e.sc, hetsim.Kernel{

@@ -170,12 +170,12 @@ func (e *exec) trailingUpdate(j int) {
 	var body func()
 	if e.a != nil {
 		r0 := (j + 1) * e.b
-		panel := r0 + j*e.b*e.a.Stride // A[j+1:, j]
+		panel := e.a.Off(r0, j*e.b) // A[j+1:, j]
 		body = func() {
 			blas.DgemmParallel(blas.NoTrans, blas.Trans, rows, rows, e.b,
-				-1, e.a.Data[panel:], e.a.Stride,
-				e.a.Data[panel:], e.a.Stride,
-				1, e.a.Data[r0+r0*e.a.Stride:], e.a.Stride)
+				-1, panel, e.a.Stride,
+				panel, e.a.Stride,
+				1, e.a.Off(r0, r0), e.a.Stride)
 		}
 	}
 	e.plat.GPU.Launch(e.sc, hetsim.Kernel{

@@ -29,10 +29,10 @@ func (f *Figure) Plot(width, height int) string {
 	if math.IsInf(minX, 1) {
 		return "(no data)\n"
 	}
-	if maxY == minY {
+	if maxY == minY { //nolint:floateq — degenerate-axis guard: min/max of the same finite set compare exactly equal iff all points coincide
 		maxY = minY + 1
 	}
-	if maxX == minX {
+	if maxX == minX { //nolint:floateq — degenerate-axis guard, as above
 		maxX = minX + 1
 	}
 	// Pad the y range a touch so extremes stay visible.

@@ -118,7 +118,8 @@ func (t *Trace) MaxConcurrency(c Class) int {
 		evs = append(evs, ev{sp.Start, 1}, ev{sp.End, -1})
 	}
 	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].t != evs[j].t {
+		if evs[i].t != evs[j].t { //nolint:floateq — simulated timestamps are exact arithmetic; identical events must compare equal for the close-before-open tie-break below
+
 			return evs[i].t < evs[j].t
 		}
 		return evs[i].delta < evs[j].delta // close before open at equal times

@@ -79,6 +79,16 @@ func (m *Matrix) Col(j int) []float64 {
 	return m.Data[j*m.Stride : j*m.Stride+m.Rows]
 }
 
+// Off returns the raw storage suffix beginning at element (i, j): the
+// (slice, stride) pair that BLAS-style kernels consume. It exists so
+// callers never spell out Data[i+j*Stride] themselves — the
+// column-major layout stays a single-package concern (enforced by the
+// matindex analyzer).
+func (m *Matrix) Off(i, j int) []float64 {
+	m.boundsCheck(i, j)
+	return m.Data[i+j*m.Stride:]
+}
+
 // View returns the sub-matrix of size r x c whose top-left corner is
 // (i, j). The view aliases the receiver's storage.
 func (m *Matrix) View(i, j, r, c int) *Matrix {

@@ -1,0 +1,89 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis driver surface that the abftlint
+// suite needs. The build environment for this repository vendors no
+// third-party modules, so the suite carries its own framework; the
+// Analyzer/Pass/Diagnostic shapes deliberately mirror x/tools so that
+// each analyzer's Run function can be moved onto the real framework by
+// changing only its import path.
+//
+// The framework adds one repository-specific extension: an Analyzer
+// may carry an AppliesTo predicate restricting it to the packages
+// where its invariant is load-bearing (e.g. determinism only matters
+// under internal/hetsim, internal/core, and internal/fault). The
+// driver — not the analyzer body — consults the predicate, so the
+// analyzers themselves stay policy-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nolint:<name> suppression comments.
+	Name string
+	// Doc is the one-paragraph description printed by the driver.
+	Doc string
+	// AppliesTo, when non-nil, restricts the analyzer to packages
+	// whose directory import path satisfies the predicate. A nil
+	// predicate means the analyzer runs everywhere.
+	AppliesTo func(importPath string) bool
+	// Run inspects one package and reports findings via the Pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// ImportPath is the directory-based import path of the package;
+	// an external test package (package foo_test) shares the import
+	// path of the directory it lives in.
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PathIn returns a predicate satisfied by the listed import paths and
+// any package below them.
+func PathIn(paths ...string) func(string) bool {
+	return func(p string) bool {
+		for _, want := range paths {
+			if p == want || strings.HasPrefix(p, want+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// PathNotIn returns a predicate satisfied everywhere except the listed
+// import paths and packages below them.
+func PathNotIn(paths ...string) func(string) bool {
+	in := PathIn(paths...)
+	return func(p string) bool { return !in(p) }
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one post-filter diagnostic, positioned and attributed.
+type Finding struct {
+	Analyzer *Analyzer
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer.Name, f.Message)
+}
+
+// Run executes every applicable analyzer over every package and
+// returns the surviving findings, sorted by position. Diagnostics on a
+// line carrying a //nolint:abftlint or //nolint:<analyzer> comment are
+// suppressed — the sanctioned escape hatch for intentional violations,
+// which should always carry a justification after the directive.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		suppressed := nolintLines(pkg)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:   a,
+				ImportPath: pkg.ImportPath,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diagnostics {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed[lineKey{pos.Filename, pos.Line}].allows(a.Name) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer.Name < b.Analyzer.Name
+	})
+	return findings, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// suppression records which analyzer names a nolint comment silences;
+// the suite-wide name "abftlint" (or a bare //nolint) silences all.
+type suppression struct {
+	all   bool
+	names map[string]bool
+}
+
+func (s suppression) allows(name string) bool {
+	return s.all || s.names[name]
+}
+
+// nolintLines scans a package's comments for nolint directives and
+// maps each annotated source line to the analyzers it suppresses.
+func nolintLines(pkg *Package) map[lineKey]suppression {
+	out := map[lineKey]suppression{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "nolint")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				key := lineKey{pos.Filename, pos.Line}
+				s := suppression{names: map[string]bool{}}
+				rest = strings.TrimSpace(rest)
+				if names, ok := strings.CutPrefix(rest, ":"); ok {
+					// Everything after the first whitespace is the
+					// human justification, not more analyzer names.
+					if i := strings.IndexAny(names, " \t"); i >= 0 {
+						names = names[:i]
+					}
+					for _, n := range strings.Split(names, ",") {
+						n = strings.TrimSpace(n)
+						if n == "abftlint" {
+							s.all = true
+						} else if n != "" {
+							s.names[n] = true
+						}
+					}
+				} else {
+					// A bare //nolint silences everything on the line.
+					s.all = true
+				}
+				out[key] = s
+			}
+		}
+	}
+	return out
+}

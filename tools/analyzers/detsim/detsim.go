@@ -1,0 +1,90 @@
+// Package detsim flags non-deterministic inputs — wall-clock reads and
+// unseeded randomness — inside the packages where bit-reproducibility
+// is load-bearing: the heterogeneous-platform simulator
+// (internal/hetsim), the ABFT executor (internal/core), and the fault
+// injector (internal/fault). Trace replay, fault campaigns, and the
+// real-vs-model plane agreement tests all assume that the same seed
+// reproduces the same run bit for bit; one time.Now or global
+// math/rand call silently breaks every one of those guarantees. The
+// only sanctioned randomness is a seeded *rand.Rand threaded through
+// explicitly, and the only sanctioned clock is the simulator's own.
+package detsim
+
+import (
+	"go/ast"
+	"go/types"
+
+	"abftchol/tools/analyzers/analysis"
+)
+
+// Doc explains the analyzer; it is also the driver help text.
+const Doc = "forbid wall-clock time and unseeded randomness in the deterministic simulator packages"
+
+// wallClock lists the time-package functions that read the machine's
+// clock or schedule against it. time.Duration arithmetic and constants
+// remain fine — only real-time observation breaks replay.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true,
+	"NewTimer": true, "Sleep": true,
+}
+
+// seededConstructors are the math/rand functions that build an
+// explicitly seeded generator rather than drawing from the hidden
+// global source.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 spellings.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Analyzer implements the pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsim",
+	Doc:  Doc,
+	AppliesTo: analysis.PathIn(
+		"abftchol/internal/hetsim",
+		"abftchol/internal/core",
+		"abftchol/internal/fault",
+	),
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"crypto/rand"` {
+				pass.Reportf(imp.Pos(), "crypto/rand is non-deterministic and forbidden here; thread a seeded *math/rand.Rand through instead")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if wallClock[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock and breaks deterministic replay; use the simulated clock threaded through the run", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				// Only package-level functions draw from the hidden
+				// global source; types (rand.Rand, rand.Source) and
+				// methods on a seeded generator are the sanctioned path.
+				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !seededConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "global rand.%s draws from the unseeded process-wide source; thread a seeded *rand.Rand through instead", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

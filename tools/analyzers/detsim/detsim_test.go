@@ -1,0 +1,19 @@
+package detsim_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/detsim"
+)
+
+func TestDetsim(t *testing.T) {
+	analysistest.Run(t, detsim.Analyzer, "testdata/src/detsimtest",
+		analysistest.ImportAs("abftchol/internal/hetsim"))
+}
+
+// TestDetsimScope loads wall-clock code under an import path outside
+// the deterministic packages; no diagnostics may fire.
+func TestDetsimScope(t *testing.T) {
+	analysistest.Run(t, detsim.Analyzer, "testdata/src/unscoped")
+}

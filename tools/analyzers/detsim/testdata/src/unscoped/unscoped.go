@@ -1,0 +1,10 @@
+// Package unscoped holds patterns detsim would flag, loaded under an
+// import path outside the deterministic packages: the analyzer must
+// stay silent, proving the AppliesTo scoping works.
+package unscoped
+
+import "time"
+
+func wallClockIsFineHere() time.Time {
+	return time.Now()
+}

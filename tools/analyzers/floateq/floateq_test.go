@@ -1,0 +1,20 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "testdata/src/floateqtest")
+}
+
+// TestFloateqMatExempt loads the same flagged patterns under the
+// internal/mat import path, where tolerance helpers are implemented;
+// the analyzer must stay silent there.
+func TestFloateqMatExempt(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "testdata/src/matexempt",
+		analysistest.ImportAs("abftchol/internal/mat"))
+}

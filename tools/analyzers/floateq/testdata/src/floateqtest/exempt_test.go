@@ -1,0 +1,12 @@
+package floateqtest
+
+// Test files are exempt: the suite asserts bit-reproducibility
+// (kernel-vs-oracle equality) deliberately. No diagnostic may fire.
+func exactOracleCompare(got, want []float64) bool {
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+// Package floateqtest exercises the floateq analyzer: computed float
+// equality is flagged; constant sentinels, the NaN probe, tolerance
+// comparisons, and the nolint escape are not.
+package floateqtest
+
+import "math"
+
+const eps = 1e-12
+
+func flagged(a, b float64) bool {
+	return a == b // want "tolerance"
+}
+
+func flaggedNeq(xs, ys []float64, i int) bool {
+	return xs[i] != ys[i] // want "tolerance"
+}
+
+func flaggedFloat32(a, b float32) bool {
+	return a == b // want "tolerance"
+}
+
+func flaggedNamedConst(x float64) bool {
+	// A nonzero named constant is still a constant sentinel on one
+	// side, so only the two-computed-operands form below fires.
+	half := x / 2
+	return x == half // want "tolerance"
+}
+
+func allowedSentinels(alpha, beta float64) bool {
+	if alpha == 0 || beta != 1 {
+		return true
+	}
+	return alpha != eps
+}
+
+func allowedNaNProbe(x float64) bool {
+	return x != x
+}
+
+func allowedTolerance(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func allowedInts(i, j int) bool {
+	return i == j
+}
+
+func escaped(a, b float64) bool {
+	return a == b //nolint:abftlint — exercising the suite-wide escape hatch
+}

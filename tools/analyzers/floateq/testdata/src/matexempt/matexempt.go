@@ -1,0 +1,8 @@
+// Package matexempt holds a raw float comparison loaded under the
+// abftchol/internal/mat import path: the whole package is exempt (the
+// sanctioned tolerance helpers live there), so nothing may fire.
+package matexempt
+
+func rawCompareIsFineHere(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,12 @@
+package matindex_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/matindex"
+)
+
+func TestMatindex(t *testing.T) {
+	analysistest.Run(t, matindex.Analyzer, "testdata/src/matindextest")
+}

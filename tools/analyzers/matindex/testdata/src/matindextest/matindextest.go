@@ -1,0 +1,46 @@
+// Package matindextest exercises the matindex analyzer: indexing or
+// slicing a mat.Matrix Data field is flagged; the accessor API,
+// passing the whole buffer, same-named fields on other types, and the
+// nolint escape are not.
+package matindextest
+
+import "abftchol/internal/mat"
+
+func flaggedIndex(m *mat.Matrix, i, j int) float64 {
+	return m.Data[i+j*m.Stride] // want "column-major"
+}
+
+func flaggedSlice(m *mat.Matrix, j int) []float64 {
+	return m.Data[j*m.Stride:] // want "column-major"
+}
+
+func flaggedValueReceiver(m mat.Matrix) float64 {
+	return m.Data[0] // want "column-major"
+}
+
+func allowedAccessors(m *mat.Matrix, i, j int) float64 {
+	m.Set(i, j, 1)
+	m.Add(i, j, 1)
+	_ = m.Col(j)
+	_ = m.Off(i, j)
+	_ = m.View(i, j, 1, 1)
+	return m.At(i, j)
+}
+
+// allowedWholeBuffer passes the raw storage (with its stride) to a
+// BLAS-style kernel without deriving any offsets — the sanctioned use.
+func allowedWholeBuffer(m *mat.Matrix, kernel func([]float64, int)) {
+	kernel(m.Data, m.Stride)
+}
+
+type notAMatrix struct {
+	Data []float64
+}
+
+func allowedOtherType(x notAMatrix) float64 {
+	return x.Data[0]
+}
+
+func escaped(m *mat.Matrix) float64 {
+	return m.Data[0] //nolint:matindex — exercising the per-analyzer escape hatch
+}

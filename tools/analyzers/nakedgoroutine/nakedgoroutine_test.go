@@ -1,0 +1,13 @@
+package nakedgoroutine_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/nakedgoroutine"
+)
+
+func TestNakedGoroutine(t *testing.T) {
+	analysistest.Run(t, nakedgoroutine.Analyzer, "testdata/src/nakedgoroutinetest",
+		analysistest.ImportAs("abftchol/internal/blas"))
+}

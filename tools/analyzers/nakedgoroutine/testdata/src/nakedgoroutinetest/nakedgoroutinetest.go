@@ -1,0 +1,77 @@
+// Package nakedgoroutinetest exercises the nakedgoroutine analyzer:
+// fire-and-forget func literals are flagged; WaitGroup, channel, and
+// argument handoffs, named-function goroutines, and the nolint escape
+// are not.
+package nakedgoroutinetest
+
+import "sync"
+
+func flaggedNaked(n int) {
+	go func() { // want "completion handoff"
+		_ = n * 2
+	}()
+}
+
+func flaggedWithArgs(xs []float64) {
+	go func(v []float64) { // want "completion handoff"
+		v[0] = 1
+	}(xs)
+}
+
+func allowedWaitGroup(xs []float64) {
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			xs[i] *= 2
+		}(i)
+	}
+	wg.Wait()
+}
+
+func allowedChannelClose() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+func allowedChannelSend() int {
+	res := make(chan int, 1)
+	go func() {
+		res <- 7
+	}()
+	return <-res
+}
+
+func allowedChannelArg(done chan struct{}) {
+	go func(d chan<- struct{}) {
+		d <- struct{}{}
+	}(done)
+}
+
+func allowedSelect(stop chan struct{}) {
+	go func() {
+		select {
+		case <-stop:
+		default:
+		}
+	}()
+}
+
+type worker struct{}
+
+func (w *worker) loop() {}
+
+// allowedNamed delegates the handoff question to the callee; only
+// inline literals are the analyzer's business.
+func allowedNamed(w *worker) {
+	go w.loop()
+}
+
+func escaped() {
+	go func() { //nolint:nakedgoroutine — exercising the per-analyzer escape hatch
+	}()
+}

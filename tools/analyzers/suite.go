@@ -1,0 +1,22 @@
+// Package analyzers registers the abftlint suite: the static passes
+// that keep the repository's fault-tolerance invariants machine
+// checked. See docs/LINTING.md for the invariant each pass guards and
+// the sanctioned //nolint escape hatch.
+package analyzers
+
+import (
+	"abftchol/tools/analyzers/analysis"
+	"abftchol/tools/analyzers/detsim"
+	"abftchol/tools/analyzers/floateq"
+	"abftchol/tools/analyzers/matindex"
+	"abftchol/tools/analyzers/nakedgoroutine"
+)
+
+// Suite lists every analyzer the abftlint driver runs, in the order
+// findings are attributed.
+var Suite = []*analysis.Analyzer{
+	detsim.Analyzer,
+	floateq.Analyzer,
+	matindex.Analyzer,
+	nakedgoroutine.Analyzer,
+}

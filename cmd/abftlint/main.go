@@ -8,11 +8,18 @@
 // Intentional violations are suppressed line-by-line with
 // //nolint:abftlint (whole suite) or //nolint:<analyzer>, always with
 // a trailing justification; see docs/LINTING.md.
+//
+// -json emits one JSON object per diagnostic (suppressed ones
+// included, marked) for CI artifacts and tooling. -nolint-report
+// audits the escape hatches instead of linting: it lists every
+// //nolint directive and fails if one carries no justification.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"abftchol/tools/analyzers"
@@ -22,8 +29,10 @@ import (
 func main() {
 	printVersion := flag.String("V", "", "print version and exit (go vet handshake)")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic (suppressed findings included) on stdout")
+	nolintReport := flag.Bool("nolint-report", false, "audit //nolint directives instead of linting; fail on missing justifications")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: abftlint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: abftlint [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the abftchol static-analysis suite; 'abftlint ./...' checks the whole module.\n\n")
 		flag.PrintDefaults()
 	}
@@ -45,19 +54,24 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(run(patterns))
+	if *nolintReport {
+		os.Exit(auditNolint(os.Stdout, patterns))
+	}
+	os.Exit(run(os.Stdout, patterns, *jsonOut))
 }
 
-func run(patterns []string) int {
+// load resolves the patterns into type-checked packages, or returns
+// nil after printing why (the caller exits 2).
+func load(patterns []string) []*analysis.Package {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abftlint:", err)
-		return 2
+		return nil
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abftlint:", err)
-		return 2
+		return nil
 	}
 	broken := false
 	for _, pkg := range pkgs {
@@ -67,18 +81,87 @@ func run(patterns []string) int {
 		}
 	}
 	if broken {
+		return nil
+	}
+	return pkgs
+}
+
+// jsonFinding is the one-line-per-diagnostic wire format of -json.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func run(out io.Writer, patterns []string, asJSON bool) int {
+	pkgs := load(patterns)
+	if pkgs == nil {
 		return 2
 	}
-	findings, err := analysis.Run(pkgs, analyzers.Suite)
+	findings, err := analysis.RunAll(pkgs, analyzers.Suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abftlint:", err)
 		return 2
 	}
+	active := 0
+	enc := json.NewEncoder(out)
 	for _, f := range findings {
-		fmt.Println(f)
+		if !f.Suppressed {
+			active++
+		}
+		switch {
+		case asJSON:
+			enc.Encode(jsonFinding{
+				Analyzer:   f.Analyzer.Name,
+				File:       f.Pos.Filename,
+				Line:       f.Pos.Line,
+				Column:     f.Pos.Column,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+		case !f.Suppressed:
+			fmt.Fprintln(out, f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "abftlint: %d finding(s)\n", len(findings))
+	if active > 0 {
+		fmt.Fprintf(os.Stderr, "abftlint: %d finding(s)\n", active)
+		return 1
+	}
+	return 0
+}
+
+// auditNolint lists every //nolint escape hatch in the packages and
+// fails when one carries no justification: an escape without a reason
+// is a silent hole in the invariant the suppressed analyzer guards.
+func auditNolint(out io.Writer, patterns []string) int {
+	pkgs := load(patterns)
+	if pkgs == nil {
+		return 2
+	}
+	unjustified := 0
+	for _, d := range analysis.NolintDirectives(pkgs) {
+		scope := "suite"
+		if !d.All {
+			scope = ""
+			for i, n := range d.Names {
+				if i > 0 {
+					scope += ","
+				}
+				scope += n
+			}
+		}
+		just := d.Justification
+		if just == "" {
+			just = "MISSING JUSTIFICATION"
+			unjustified++
+		}
+		fmt.Fprintf(out, "%s:%d: nolint(%s): %s\n", d.Pos.Filename, d.Pos.Line, scope, just)
+	}
+	if unjustified > 0 {
+		fmt.Fprintf(os.Stderr, "abftlint: %d //nolint directive(s) without justification\n", unjustified)
 		return 1
 	}
 	return 0

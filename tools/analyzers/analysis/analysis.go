@@ -29,6 +29,11 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by the driver.
 	Doc string
+	// Scope names, for humans, where the analyzer runs — the prose
+	// rendering of AppliesTo ("internal/hetsim, internal/core", or
+	// "all packages"). The docs/LINTING.md analyzer table is generated
+	// from it.
+	Scope string
 	// AppliesTo, when non-nil, restricts the analyzer to packages
 	// whose directory import path satisfies the predicate. A nil
 	// predicate means the analyzer runs everywhere.

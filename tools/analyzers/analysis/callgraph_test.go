@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheckPass parses and typechecks one source file into a Pass.
+func typecheckPass(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Pass{ImportPath: "p", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+const cgSrc = `package p
+
+type dev struct{}
+
+func (dev) tick() {}
+
+func leaf(d dev)   { d.tick() }
+func mid(d dev)    { leaf(d) }
+func top(d dev)    { mid(d) }
+func other()       {}
+func closures(d dev) {
+	f := func() { leaf(d) }
+	f()
+}
+`
+
+// declByName finds a declared function object by name.
+func declByName(t *testing.T, pass *Pass, cg *CallGraph, name string) *types.Func {
+	t.Helper()
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					return fn
+				}
+			}
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// callsTick reports whether a declaration contains a direct .tick()
+// call.
+func callsTick(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "tick" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func TestCallGraphClosure(t *testing.T) {
+	pass := typecheckPass(t, cgSrc)
+	cg := BuildCallGraph(pass)
+	closure := cg.Closure(callsTick)
+
+	for _, name := range []string{"leaf", "mid", "top", "closures"} {
+		if !closure[declByName(t, pass, cg, name)] {
+			t.Errorf("%s should be in the tick closure", name)
+		}
+	}
+	if closure[declByName(t, pass, cg, "other")] {
+		t.Error("other must not be in the tick closure")
+	}
+}
+
+func TestCallGraphDecl(t *testing.T) {
+	pass := typecheckPass(t, cgSrc)
+	cg := BuildCallGraph(pass)
+	fn := declByName(t, pass, cg, "mid")
+	if d := cg.Decl(fn); d == nil || d.Name.Name != "mid" {
+		t.Fatalf("Decl(mid) = %v", d)
+	}
+}
+
+func TestCalleeOf(t *testing.T) {
+	pass := typecheckPass(t, cgSrc)
+	var methodCall, funcCall *ast.CallExpr
+	ast.Inspect(pass.Files[0], func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "tick" {
+				methodCall = call
+			}
+		case *ast.Ident:
+			if fun.Name == "mid" {
+				funcCall = call
+			}
+		}
+		return true
+	})
+	if fn := CalleeOf(pass.TypesInfo, methodCall); fn == nil || fn.Name() != "tick" {
+		t.Errorf("method callee = %v", fn)
+	}
+	if fn := CalleeOf(pass.TypesInfo, funcCall); fn == nil || fn.Name() != "mid" {
+		t.Errorf("function callee = %v", fn)
+	}
+}
+
+const duSrc = `package p
+
+type ev struct{}
+
+func rec() ev      { return ev{} }
+func sink(e ev)    {}
+func two() (ev, error) { return ev{}, nil }
+
+func f(param ev) {
+	used := rec()
+	sink(used)
+	unused := rec()
+	_ = func() { sink(param) }
+	pair, err := two()
+	_, _ = pair, err
+	var bare ev
+	_ = unused
+	_ = bare
+}
+`
+
+func objByName(t *testing.T, pass *Pass, name string) types.Object {
+	t.Helper()
+	for id, obj := range pass.TypesInfo.Defs {
+		if obj != nil && id.Name == name && obj.Parent() != pass.Pkg.Scope() {
+			return obj
+		}
+	}
+	t.Fatalf("object %s not found", name)
+	return nil
+}
+
+func TestCollectDefUse(t *testing.T) {
+	pass := typecheckPass(t, duSrc)
+	var fn *ast.FuncDecl
+	for _, d := range pass.Files[0].Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	du := CollectDefUse(fn, pass.TypesInfo)
+
+	used := objByName(t, pass, "used")
+	defs := du.Defs[used]
+	if len(defs) != 1 {
+		t.Fatalf("used has %d defs, want 1", len(defs))
+	}
+	if call, ok := defs[0].(*ast.CallExpr); !ok || !strings.HasPrefix(types.ExprString(call), "rec") {
+		t.Errorf("used's def should be the rec() call, got %s", types.ExprString(defs[0]))
+	}
+	if du.Uses[used] != 1 {
+		t.Errorf("used read %d times, want 1", du.Uses[used])
+	}
+
+	// Multi-value assignment: both LHS record the single call RHS.
+	pair, errObj := objByName(t, pass, "pair"), objByName(t, pass, "err")
+	if len(du.Defs[pair]) != 1 || len(du.Defs[errObj]) != 1 {
+		t.Error("multi-value assignment should define both targets")
+	}
+
+	// A read inside a closure is a real use.
+	param := objByName(t, pass, "param")
+	if !du.Params[param] {
+		t.Error("param should be recorded as a parameter")
+	}
+	if du.Uses[param] == 0 {
+		t.Error("closure read of param should count as a use")
+	}
+
+	// var with no initializer: present with nil defs.
+	bare := objByName(t, pass, "bare")
+	if defs, ok := du.Defs[bare]; !ok || defs != nil {
+		t.Error("bare var should have a nil-def entry")
+	}
+}

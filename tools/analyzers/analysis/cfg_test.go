@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a source file and returns the body of the named
+// function.
+func parseBody(t *testing.T, src, name string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// callNode finds the CFG node of the statement calling the named
+// function.
+func callNode(g *CFG, body *ast.BlockStmt, name string) *Node {
+	var found *Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = g.NodeFor(es)
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+const cfgSrc = `package p
+
+func f() bool { return true }
+func a()      {}
+func b()      {}
+func c()      {}
+
+func linear() { a(); b(); c() }
+
+func branchy() {
+	if f() {
+		a()
+	} else {
+		b()
+	}
+	c()
+}
+
+func looped(n int) {
+	for i := 0; i < n; i++ {
+		a()
+	}
+	b()
+}
+
+func breaks(n int) {
+	for i := 0; i < n; i++ {
+		if f() {
+			break
+		}
+		a()
+	}
+	b()
+}
+
+func labeled(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if f() {
+				continue outer
+			}
+			a()
+		}
+		b()
+	}
+	c()
+}
+
+func switchy(x int) {
+	switch x {
+	case 0:
+		a()
+	default:
+		b()
+	}
+	c()
+}
+
+func jumpy() {
+	goto done
+	a()
+done:
+	b()
+}
+`
+
+func TestCFGLinearDominance(t *testing.T) {
+	body := parseBody(t, cfgSrc, "linear")
+	g := BuildCFG(body)
+	dom := g.Dominators(PathOpts{})
+	na, nb, nc := callNode(g, body, "a"), callNode(g, body, "b"), callNode(g, body, "c")
+	if na == nil || nb == nil || nc == nil {
+		t.Fatal("missing call nodes")
+	}
+	if !dom[nc.Index][na] || !dom[nc.Index][nb] {
+		t.Error("a and b should dominate c in straight-line code")
+	}
+	if dom[na.Index][nb] {
+		t.Error("b must not dominate the earlier a")
+	}
+	if !dom[g.Exit.Index][nc] {
+		t.Error("c should dominate exit")
+	}
+}
+
+func TestCFGBranchDominance(t *testing.T) {
+	body := parseBody(t, cfgSrc, "branchy")
+	g := BuildCFG(body)
+	na, nb, nc := callNode(g, body, "a"), callNode(g, body, "b"), callNode(g, body, "c")
+	dom := g.Dominators(PathOpts{})
+	if dom[nc.Index][na] || dom[nc.Index][nb] {
+		t.Error("neither arm of an if/else dominates the join")
+	}
+
+	// Specializing the condition to true makes the then-arm dominate
+	// the join and the else-arm unreachable.
+	spec := PathOpts{Resolve: func(ast.Expr) (bool, bool) { return true, true }}
+	dom = g.Dominators(spec)
+	if !dom[nc.Index][na] {
+		t.Error("then-arm should dominate join when the condition is resolved true")
+	}
+	reach := g.Reachable(g.Entry, spec)
+	if reach[nb] {
+		t.Error("else-arm should be unreachable when the condition is resolved true")
+	}
+	if !reach[na] || !reach[nc] {
+		t.Error("then-arm and join should stay reachable")
+	}
+}
+
+func TestCFGLoopZeroTrip(t *testing.T) {
+	body := parseBody(t, cfgSrc, "looped")
+	g := BuildCFG(body)
+	na, nb := callNode(g, body, "a"), callNode(g, body, "b")
+
+	if dom := g.Dominators(PathOpts{}); dom[nb.Index][na] {
+		t.Error("loop body must not dominate the loop exit under exact semantics")
+	}
+	if dom := g.Dominators(PathOpts{SkipZeroTrip: true}); !dom[nb.Index][na] {
+		t.Error("loop body should dominate the loop exit under at-least-once semantics")
+	}
+}
+
+func TestCFGBreak(t *testing.T) {
+	body := parseBody(t, cfgSrc, "breaks")
+	g := BuildCFG(body)
+	na, nb := callNode(g, body, "a"), callNode(g, body, "b")
+	reach := g.Reachable(g.Entry, PathOpts{})
+	if !reach[na] || !reach[nb] {
+		t.Fatal("all statements should be reachable")
+	}
+	// Even under at-least-once semantics the break path bypasses a(),
+	// so a() must not dominate the loop exit.
+	if dom := g.Dominators(PathOpts{SkipZeroTrip: true}); dom[nb.Index][na] {
+		t.Error("break around a() must kill its dominance over the loop exit")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	body := parseBody(t, cfgSrc, "labeled")
+	g := BuildCFG(body)
+	na, nb, nc := callNode(g, body, "a"), callNode(g, body, "b"), callNode(g, body, "c")
+	reach := g.Reachable(g.Entry, PathOpts{})
+	for _, n := range []*Node{na, nb, nc} {
+		if !reach[n] {
+			t.Fatal("all statements should be reachable")
+		}
+	}
+	// continue outer jumps past b(); with the inner loop forced to run
+	// and its condition-specialized body always continuing, b() must
+	// not dominate c().
+	if dom := g.Dominators(PathOpts{SkipZeroTrip: true}); dom[nc.Index][nb] {
+		t.Error("labeled continue must provide a path around b()")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	body := parseBody(t, cfgSrc, "switchy")
+	g := BuildCFG(body)
+	na, nb, nc := callNode(g, body, "a"), callNode(g, body, "b"), callNode(g, body, "c")
+	dom := g.Dominators(PathOpts{})
+	if dom[nc.Index][na] || dom[nc.Index][nb] {
+		t.Error("no single clause dominates the statement after a switch")
+	}
+	reach := g.Reachable(g.Entry, PathOpts{})
+	if !reach[na] || !reach[nb] || !reach[nc] {
+		t.Error("all clauses and the join should be reachable")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	body := parseBody(t, cfgSrc, "jumpy")
+	g := BuildCFG(body)
+	na, nb := callNode(g, body, "a"), callNode(g, body, "b")
+	reach := g.Reachable(g.Entry, PathOpts{})
+	if reach[na] {
+		t.Error("statement jumped over by goto should be unreachable")
+	}
+	if !reach[nb] {
+		t.Error("goto target should be reachable")
+	}
+}
+
+func TestReachableBarrier(t *testing.T) {
+	body := parseBody(t, cfgSrc, "linear")
+	g := BuildCFG(body)
+	na, nb, nc := callNode(g, body, "a"), callNode(g, body, "b"), callNode(g, body, "c")
+	reach := g.Reachable(na, PathOpts{Barrier: func(n *Node) bool { return n == nb }})
+	if !reach[nb] {
+		t.Error("a barrier node itself is reachable")
+	}
+	if reach[nc] {
+		t.Error("traversal must not continue through a barrier")
+	}
+	if reach[na] {
+		t.Error("the start node is only reachable via a cycle")
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	g := BuildCFG(nil)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("nil body still yields entry and exit")
+	}
+	if !g.Reachable(g.Entry, PathOpts{})[g.Exit] {
+		t.Error("exit should be reachable from entry")
+	}
+}

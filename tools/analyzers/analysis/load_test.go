@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module from path→contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadDirExternalTestUnit(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":            "module example.com/m\n\ngo 1.21\n",
+		"pkg/a.go":          "package a\n\nfunc A() int { return 1 }\n",
+		"pkg/a_in_test.go":  "package a\n\nfunc aHelper() int { return A() }\n",
+		"pkg/a_ext_test.go": "package a_test\n\nimport \"example.com/m/pkg\"\n\nvar _ = a.A\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := l.LoadDir(filepath.Join(root, "pkg"), "example.com/m/pkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("got %d units, want 2 (base + external test)", len(units))
+	}
+	base, ext := units[0], units[1]
+	if base.ExternalTest {
+		t.Error("first unit should be the base package")
+	}
+	if len(base.Files) != 2 {
+		t.Errorf("base unit has %d files, want 2 (library + in-package test)", len(base.Files))
+	}
+	if !ext.ExternalTest {
+		t.Error("second unit should be flagged ExternalTest")
+	}
+	if ext.ImportPath != base.ImportPath {
+		t.Errorf("external test unit reports %q, want the shared path %q", ext.ImportPath, base.ImportPath)
+	}
+	if ext.Types == nil || ext.Types.Name() != "a_test" {
+		t.Errorf("external unit package name = %v, want a_test", ext.Types)
+	}
+	for _, u := range units {
+		for _, e := range u.Errors {
+			t.Errorf("unexpected type error in %q: %v", u.ImportPath, e)
+		}
+	}
+}
+
+func TestLoadPatternMatchingNothing(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n",
+		"a/a.go": "package a\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("nosuchdir"); err == nil || !strings.Contains(err.Error(), "matched no Go packages") {
+		t.Errorf("empty non-recursive pattern: got %v, want matched-no-packages error", err)
+	}
+	if _, err := l.Load("nosuchdir/..."); err == nil {
+		t.Error("empty recursive pattern should error, not lint zero packages")
+	}
+}
+
+func TestNewLoaderWithoutModule(t *testing.T) {
+	dir := t.TempDir() // nothing above a TempDir carries a go.mod
+	if _, err := NewLoader(dir); err == nil || !strings.Contains(err.Error(), "no go.mod") {
+		t.Errorf("got %v, want no-go.mod error", err)
+	}
+}
+
+func TestNewLoaderWithoutModuleDirective(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "// a go.mod with no module line\ngo 1.21\n",
+		"a.go":   "package a\n",
+	})
+	if _, err := NewLoader(root); err == nil || !strings.Contains(err.Error(), "no module directive") {
+		t.Errorf("got %v, want no-module-directive error", err)
+	}
+}
+
+func TestImportCycleIsReported(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n",
+		"x/x.go": "package x\n\nimport \"example.com/m/y\"\n\nvar X = y.Y\n",
+		"y/y.go": "package y\n\nimport \"example.com/m/x\"\n\nvar Y = x.X\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Errors) == 0 {
+		t.Fatal("a cyclic import must surface as a package error, not hang or pass")
+	}
+	found := false
+	for _, e := range pkgs[0].Errors {
+		if strings.Contains(e.Error(), "import cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("errors do not mention the cycle: %v", pkgs[0].Errors)
+	}
+}
+
+func TestImportOfMissingPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n",
+		"a/a.go": "package a\n\nimport \"example.com/m/nothere\"\n\nvar _ = nothere.X\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs[0].Errors) == 0 {
+		t.Fatal("importing a nonexistent module package must be a package error")
+	}
+}
+
+func TestImportOfUnparsableDependency(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n",
+		"a/a.go": "package a\n\nimport \"example.com/m/b\"\n\nvar _ = b.B\n",
+		"b/b.go": "package b\n\nfunc B( {}\n", // syntax error
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs[0].Errors) == 0 {
+		t.Fatal("a parse error in a dependency must surface as a package error")
+	}
+}
+
+func TestImportOfTypeBrokenDependency(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n",
+		"a/a.go": "package a\n\nimport \"example.com/m/b\"\n\nvar _ = b.B\n",
+		"b/b.go": "package b\n\nvar B undefinedType\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range pkgs[0].Errors {
+		if strings.Contains(e.Error(), "importing example.com/m/b") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("a type error in a dependency must be attributed to the import; got %v", pkgs[0].Errors)
+	}
+}

@@ -7,11 +7,15 @@ import (
 	"strings"
 )
 
-// Finding is one post-filter diagnostic, positioned and attributed.
+// Finding is one post-attribution diagnostic, positioned and filtered.
 type Finding struct {
 	Analyzer *Analyzer
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a diagnostic silenced by a //nolint directive on
+	// its line. Run drops suppressed findings; RunAll keeps them so
+	// audit tooling (abftlint -json) can report the escape hatch in use.
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -24,6 +28,23 @@ func (f Finding) String() string {
 // suppressed — the sanctioned escape hatch for intentional violations,
 // which should always carry a justification after the directive.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	all, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	findings := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			findings = append(findings, f)
+		}
+	}
+	return findings, nil
+}
+
+// RunAll is Run without the suppression filter: every diagnostic is
+// returned, with Suppressed set on the ones a //nolint directive
+// silences.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		suppressed := nolintLines(pkg)
@@ -44,10 +65,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 			for _, d := range pass.diagnostics {
 				pos := pkg.Fset.Position(d.Pos)
-				if suppressed[lineKey{pos.Filename, pos.Line}].allows(a.Name) {
-					continue
-				}
-				findings = append(findings, Finding{Analyzer: a, Pos: pos, Message: d.Message})
+				findings = append(findings, Finding{
+					Analyzer:   a,
+					Pos:        pos,
+					Message:    d.Message,
+					Suppressed: suppressed[lineKey{pos.Filename, pos.Line}].allows(a.Name),
+				})
 			}
 		}
 	}
@@ -83,44 +106,89 @@ func (s suppression) allows(name string) bool {
 	return s.all || s.names[name]
 }
 
-// nolintLines scans a package's comments for nolint directives and
-// maps each annotated source line to the analyzers it suppresses.
+// nolintLines maps each annotated source line of a package to the
+// analyzers its directive suppresses.
 func nolintLines(pkg *Package) map[lineKey]suppression {
 	out := map[lineKey]suppression{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, "nolint")
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Slash)
-				key := lineKey{pos.Filename, pos.Line}
-				s := suppression{names: map[string]bool{}}
-				rest = strings.TrimSpace(rest)
-				if names, ok := strings.CutPrefix(rest, ":"); ok {
-					// Everything after the first whitespace is the
-					// human justification, not more analyzer names.
-					if i := strings.IndexAny(names, " \t"); i >= 0 {
-						names = names[:i]
+	for _, d := range NolintDirectives([]*Package{pkg}) {
+		s := suppression{all: d.All, names: map[string]bool{}}
+		for _, n := range d.Names {
+			s.names[n] = true
+		}
+		out[lineKey{d.Pos.Filename, d.Pos.Line}] = s
+	}
+	return out
+}
+
+// NolintDirective is one //nolint escape comment, parsed.
+type NolintDirective struct {
+	Pos token.Position
+	// All is set for a bare //nolint or //nolint:abftlint (the whole
+	// suite); Names lists individually silenced analyzers otherwise.
+	All   bool
+	Names []string
+	// Justification is the free text following the directive — the
+	// human argument for why the invariant does not apply here. The
+	// audit mode (abftlint -nolint-report) fails on directives that
+	// leave it empty.
+	Justification string
+}
+
+// NolintDirectives scans every comment of the given packages and
+// returns the parsed //nolint directives, sorted by position.
+func NolintDirectives(pkgs []*Package) []NolintDirective {
+	var out []NolintDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "nolint")
+					if !ok {
+						continue
 					}
-					for _, n := range strings.Split(names, ",") {
-						n = strings.TrimSpace(n)
-						if n == "abftlint" {
-							s.all = true
-						} else if n != "" {
-							s.names[n] = true
+					d := NolintDirective{Pos: pkg.Fset.Position(c.Slash)}
+					rest = strings.TrimSpace(rest)
+					if names, ok := strings.CutPrefix(rest, ":"); ok {
+						// Everything after the first whitespace is the
+						// human justification, not more analyzer names.
+						just := ""
+						if i := strings.IndexAny(names, " \t"); i >= 0 {
+							just = names[i:]
+							names = names[:i]
 						}
+						for _, n := range strings.Split(names, ",") {
+							n = strings.TrimSpace(n)
+							if n == "abftlint" {
+								d.All = true
+							} else if n != "" {
+								d.Names = append(d.Names, n)
+							}
+						}
+						d.Justification = trimJustification(just)
+					} else {
+						// A bare //nolint silences everything on the line.
+						d.All = true
+						d.Justification = trimJustification(rest)
 					}
-				} else {
-					// A bare //nolint silences everything on the line.
-					s.all = true
+					out = append(out, d)
 				}
-				out[key] = s
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
 	return out
+}
+
+// trimJustification strips the separating punctuation conventionally
+// written between the directive and its rationale.
+func trimJustification(s string) string {
+	return strings.TrimLeft(strings.TrimSpace(s), "—–-: \t")
 }

@@ -40,8 +40,9 @@ var seededConstructors = map[string]bool{
 
 // Analyzer implements the pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "detsim",
-	Doc:  Doc,
+	Name:  "detsim",
+	Doc:   Doc,
+	Scope: "internal/hetsim, internal/core, internal/fault",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/hetsim",
 		"abftchol/internal/core",

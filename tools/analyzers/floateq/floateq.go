@@ -40,6 +40,7 @@ const Doc = "forbid raw float equality outside internal/mat; checksum comparison
 var Analyzer = &analysis.Analyzer{
 	Name:      "floateq",
 	Doc:       Doc,
+	Scope:     "everywhere except internal/mat",
 	AppliesTo: analysis.PathNotIn("abftchol/internal/mat"),
 	Run:       run,
 }

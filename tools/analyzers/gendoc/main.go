@@ -1,0 +1,44 @@
+// Command gendoc rewrites the generated analyzer table in
+// docs/LINTING.md from the suite registry (tools/analyzers.Suite). It
+// is wired to `go generate ./tools/analyzers`; suite_test.go asserts
+// the embedding, so a stale table fails `go test` rather than rotting
+// silently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abftchol/tools/analyzers"
+)
+
+func main() {
+	out := flag.String("out", "../../docs/LINTING.md", "markdown file whose generated table to rewrite (path is relative to tools/analyzers, where go generate runs)")
+	flag.Parse()
+	if err := rewrite(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "gendoc:", err)
+		os.Exit(1)
+	}
+}
+
+func rewrite(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	src := string(data)
+	begin := strings.Index(src, analyzers.TableBegin)
+	end := strings.Index(src, analyzers.TableEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return fmt.Errorf("%s: marker comments %q ... %q not found; the generated table needs a home", path, analyzers.TableBegin, analyzers.TableEnd)
+	}
+	var b strings.Builder
+	b.WriteString(src[:begin])
+	b.WriteString(analyzers.TableBegin)
+	b.WriteString("\n")
+	b.WriteString(analyzers.AnalyzerTable())
+	b.WriteString(src[end:])
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

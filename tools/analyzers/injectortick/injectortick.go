@@ -1,0 +1,283 @@
+// Package injectortick keeps the fault-injection surface complete in
+// the executor (internal/core). The campaign machinery can only strike
+// what the executor exposes: every simulated compute kernel must be
+// followed by an inj.KernelTick for each block it touches, and every
+// iteration loop that launches compute work must open with an
+// inj.StorageTick. A kernel launched without its tick is invisible to
+// fault campaigns — coverage silently shrinks and the measured
+// detection/recovery rates become too optimistic, with nothing failing
+// to reveal it.
+//
+// Checksum-maintenance kernels (ClassChkRecalc, ClassChkUpdate,
+// ClassChkCompare) and host bookkeeping are exempt: the paper's fault
+// model (§IV) targets the factorization's compute kernels and the
+// stored matrix, and the schemes' own checksum arithmetic is assumed
+// protected by the verification discipline itself.
+package injectortick
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"abftchol/tools/analyzers/analysis"
+)
+
+// Doc explains the analyzer; it is also the driver help text.
+const Doc = "require an inj.KernelTick for every compute-kernel launch and an inj.StorageTick in every compute iteration loop"
+
+const (
+	hetsimPath = "abftchol/internal/hetsim"
+	faultPath  = "abftchol/internal/fault"
+)
+
+// computeClasses are the kernel classes the fault model targets.
+var computeClasses = map[string]bool{
+	"ClassGEMM": true, "ClassSYRK": true, "ClassTRSM": true, "ClassPOTF2": true,
+}
+
+// Analyzer implements the pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "injectortick",
+	Doc:       Doc,
+	Scope:     "internal/core",
+	AppliesTo: analysis.PathIn("abftchol/internal/core"),
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	cg := analysis.BuildCallGraph(pass)
+
+	// Transitive closures over package-local calls: functions that
+	// eventually tick the injector, and functions that eventually
+	// launch a compute kernel.
+	kernelTickers := cg.Closure(func(fd *ast.FuncDecl) bool {
+		return containsInjectorCall(info, fd, "KernelTick")
+	})
+	storageTickers := cg.Closure(func(fd *ast.FuncDecl) bool {
+		return containsInjectorCall(info, fd, "StorageTick")
+	})
+	launchers := cg.Closure(func(fd *ast.FuncDecl) bool {
+		found := false
+		ast.Inspect(fd, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if _, compute, ok := computeLaunch(info, call); ok && compute {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	})
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkKernelTicks(pass, fd, cg, kernelTickers)
+			checkStorageTicks(pass, fd, cg, storageTickers, launchers)
+		}
+	}
+	return nil
+}
+
+// checkKernelTicks requires every compute launch to reach a KernelTick
+// (direct or through a package-local helper) within its function.
+func checkKernelTicks(pass *analysis.Pass, fd *ast.FuncDecl, cg *analysis.CallGraph, tickers map[*types.Func]bool) {
+	info := pass.TypesInfo
+	g := analysis.BuildCFG(fd.Body)
+
+	type launch struct {
+		node  *analysis.Node
+		call  *ast.CallExpr
+		class string
+	}
+	var launches []launch
+	tickNodes := map[*analysis.Node]bool{}
+	for _, n := range g.Nodes {
+		if n.Kind != analysis.NodeStmt {
+			continue
+		}
+		node := n
+		ast.Inspect(n.Stmt, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // kernel bodies run inside the simulator, not here
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if class, compute, ok := computeLaunch(info, call); ok && compute {
+				launches = append(launches, launch{node, call, class})
+			}
+			if isInjectorCall(info, call, "KernelTick") {
+				tickNodes[node] = true
+			} else if callee := analysis.CalleeOf(info, call); callee != nil && tickers[callee] {
+				tickNodes[node] = true
+			}
+			return true
+		})
+	}
+
+	for _, l := range launches {
+		if tickNodes[l.node] {
+			continue
+		}
+		reach := g.Reachable(l.node, analysis.PathOpts{})
+		covered := false
+		for n := range tickNodes {
+			if reach[n] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(l.call.Pos(), "compute kernel launch (%s) has no reachable inj.KernelTick; the fault campaign cannot target this kernel", l.class)
+		}
+	}
+}
+
+// checkStorageTicks requires every outermost loop whose body launches
+// compute work (directly or through package-local helpers) to call
+// StorageTick likewise.
+func checkStorageTicks(pass *analysis.Pass, fd *ast.FuncDecl, cg *analysis.CallGraph, storageTickers, launchers map[*types.Func]bool) {
+	info := pass.TypesInfo
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			checkLoop(pass, info, n.Body, n.For, storageTickers, launchers)
+			return false // only outermost loops define an iteration
+		case *ast.RangeStmt:
+			checkLoop(pass, info, n.Body, n.For, storageTickers, launchers)
+			return false
+		}
+		return true
+	}
+	for _, s := range fd.Body.List {
+		ast.Inspect(s, visit)
+	}
+}
+
+func checkLoop(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt, pos token.Pos, storageTickers, launchers map[*types.Func]bool) {
+	launches, ticks := false, false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, compute, ok := computeLaunch(info, call); ok && compute {
+			launches = true
+		}
+		if isInjectorCall(info, call, "StorageTick") {
+			ticks = true
+		}
+		if callee := analysis.CalleeOf(info, call); callee != nil {
+			if launchers[callee] {
+				launches = true
+			}
+			if storageTickers[callee] {
+				ticks = true
+			}
+		}
+		return true
+	})
+	if launches && !ticks {
+		pass.Reportf(pos, "iteration loop launches compute kernels but never calls inj.StorageTick; per-iteration storage faults are never injected")
+	}
+}
+
+// namedFrom reports whether t is (a pointer to) the named type from
+// the given package path.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// containsInjectorCall reports whether fd (closures included — they
+// are folded into their declaration by the call graph) directly calls
+// the named Injector method.
+func containsInjectorCall(info *types.Info, fd *ast.FuncDecl, method string) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isInjectorCall(info, call, method) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isInjectorCall matches inj.<method>(...) on fault.Injector.
+func isInjectorCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && namedFrom(tv.Type, faultPath, "Injector")
+}
+
+// computeLaunch matches Device.Launch calls and classifies the kernel.
+// It returns the class name, whether the fault model covers it, and
+// whether the call is a launch at all. A kernel whose class cannot be
+// resolved statically (a non-literal Kernel value, or a Class that is
+// not a named constant) is conservatively treated as compute; code
+// that genuinely launches a pre-built checksum kernel should carry a
+// //nolint:injectortick justification.
+func computeLaunch(info *types.Info, call *ast.CallExpr) (string, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Launch" || len(call.Args) != 2 {
+		return "", false, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !namedFrom(tv.Type, hetsimPath, "Device") {
+		return "", false, false
+	}
+	lit, ok := call.Args[1].(*ast.CompositeLit)
+	if !ok {
+		return "unresolved kernel value", true, true
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Class" {
+			continue
+		}
+		var id *ast.Ident
+		switch v := kv.Value.(type) {
+		case *ast.Ident:
+			id = v
+		case *ast.SelectorExpr:
+			id = v.Sel
+		default:
+			return "unresolved class expression", true, true
+		}
+		if c, ok := info.Uses[id].(*types.Const); ok && namedFrom(c.Type(), hetsimPath, "Class") {
+			return c.Name(), computeClasses[c.Name()], true
+		}
+		return "unresolved class expression", true, true
+	}
+	// No Class key: the zero value is ClassGEMM, squarely compute.
+	return "ClassGEMM (zero value)", true, true
+}

@@ -1,0 +1,13 @@
+package injectortick_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/injectortick"
+)
+
+func TestInjectortick(t *testing.T) {
+	analysistest.Run(t, injectortick.Analyzer, "testdata/src/injectorticktest",
+		analysistest.ImportAs("abftchol/internal/core/injectorticktest"))
+}

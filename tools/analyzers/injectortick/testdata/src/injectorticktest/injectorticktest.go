@@ -1,0 +1,80 @@
+// Package injectorticktest exercises the injectortick analyzer
+// against the real hetsim and fault APIs.
+package injectorticktest
+
+import (
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+)
+
+type env struct {
+	p   *hetsim.Platform
+	s   *hetsim.Stream
+	inj *fault.Injector
+}
+
+// goodSyrk pairs the launch with its tick.
+func (e *env) goodSyrk(j int) {
+	e.p.GPU.Launch(e.s, hetsim.Kernel{Class: hetsim.ClassSYRK, Flops: 1})
+	e.inj.KernelTick(fault.OpSYRK, j, j, j)
+}
+
+// badGemm launches compute work the campaign can never strike.
+func (e *env) badGemm(j int) {
+	e.p.GPU.Launch(e.s, hetsim.Kernel{Class: hetsim.ClassGEMM, Flops: 1}) // want "compute kernel launch \\(ClassGEMM\\) has no reachable inj.KernelTick"
+}
+
+// zeroClass omits Class; the zero value is ClassGEMM, still compute.
+func (e *env) zeroClass() {
+	e.p.GPU.Launch(e.s, hetsim.Kernel{Flops: 1}) // want "compute kernel launch \\(ClassGEMM \\(zero value\\)\\) has no reachable inj.KernelTick"
+}
+
+// chkUpdate is checksum maintenance, exempt from the fault model.
+func (e *env) chkUpdate(j int) {
+	e.p.GPU.Launch(e.s, hetsim.Kernel{Class: hetsim.ClassChkUpdate, Flops: 1, Slots: 1})
+}
+
+// tickHelper ticks on behalf of its callers.
+func (e *env) tickHelper(j int) { e.inj.KernelTick(fault.OpTRSM, j, j, j) }
+
+// transitive reaches its tick through a package-local helper.
+func (e *env) transitive(j int) {
+	e.p.GPU.Launch(e.s, hetsim.Kernel{Class: hetsim.ClassTRSM, Flops: 1})
+	e.tickHelper(j)
+}
+
+// conditionalTick still satisfies may-reach: some path ticks.
+func (e *env) conditionalTick(j int, on bool) {
+	e.p.GPU.Launch(e.s, hetsim.Kernel{Class: hetsim.ClassPOTF2, Flops: 1})
+	if on {
+		e.inj.KernelTick(fault.OpPOTF2, j, j, j)
+	}
+}
+
+// goodLoop opens each iteration with a storage tick.
+func (e *env) goodLoop() {
+	for j := 0; j < 4; j++ {
+		e.inj.StorageTick(j)
+		e.goodSyrk(j)
+	}
+}
+
+// badLoop launches compute work (through a helper) but never exposes
+// the iteration to storage faults.
+func (e *env) badLoop() {
+	for j := 0; j < 4; j++ { // want "iteration loop launches compute kernels but never calls inj.StorageTick"
+		e.goodSyrk(j)
+	}
+}
+
+// chkLoop only does checksum maintenance; no storage tick needed.
+func (e *env) chkLoop() {
+	for j := 0; j < 4; j++ {
+		e.chkUpdate(j)
+	}
+}
+
+// escaped exercises the sanctioned escape hatch.
+func (e *env) escaped() {
+	e.p.GPU.Launch(e.s, hetsim.Kernel{Class: hetsim.ClassSYRK, Flops: 1}) //nolint:injectortick — escape-hatch exercise in testdata
+}

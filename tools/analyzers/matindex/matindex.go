@@ -27,6 +27,7 @@ const matrixPkg = "abftchol/internal/mat"
 var Analyzer = &analysis.Analyzer{
 	Name:      "matindex",
 	Doc:       Doc,
+	Scope:     "everywhere except internal/mat",
 	AppliesTo: analysis.PathNotIn(matrixPkg),
 	Run:       run,
 }

@@ -24,8 +24,9 @@ const Doc = "forbid goroutines without a WaitGroup/channel/errgroup completion h
 
 // Analyzer implements the pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "nakedgoroutine",
-	Doc:  Doc,
+	Name:  "nakedgoroutine",
+	Doc:   Doc,
+	Scope: "internal/blas, internal/core",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/blas",
 		"abftchol/internal/core",

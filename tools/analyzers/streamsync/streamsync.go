@@ -1,0 +1,308 @@
+// Package streamsync enforces the stream/event ordering discipline of
+// the simulated CUDA runtime (internal/hetsim). Streams execute
+// in-order but run concurrently with each other, so work that consumes
+// another stream's results is only correct when an event edge —
+// consumer.Wait(producer.Record()) — dominates it. A missing edge is a
+// data race in the modeled machine that the simulator, which advances
+// virtual time optimistically, will not crash on: it silently produces
+// overlap numbers the real hardware cannot reproduce, which is exactly
+// the class of bug the paper's overlapped-verification claims (§VI)
+// are most sensitive to. The analyzer builds the per-function CFG and
+// requires every cross-stream transfer to be dominated by a
+// synchronization on its stream, and every recorded event to be
+// consumed by some Wait.
+package streamsync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"abftchol/tools/analyzers/analysis"
+)
+
+// Doc explains the analyzer; it is also the driver help text.
+const Doc = "require event edges (Wait/Record) between dependent streams and flag dropped or malformed events"
+
+const hetsimPath = "abftchol/internal/hetsim"
+
+// Analyzer implements the pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "streamsync",
+	Doc:   Doc,
+	Scope: "internal/core, internal/experiments",
+	AppliesTo: analysis.PathIn(
+		"abftchol/internal/core",
+		"abftchol/internal/experiments",
+	),
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hetsimNamed reports whether t is (a pointer to) the named hetsim
+// type.
+func hetsimNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == hetsimPath
+}
+
+// methodCall matches a call of the named method on (a pointer to) the
+// named hetsim receiver type, returning the receiver expression.
+func methodCall(info *types.Info, call *ast.CallExpr, recvType, method string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !hetsimNamed(tv.Type, recvType) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+func isRecordCall(info *types.Info, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	_, ok = methodCall(info, call, "Stream", "Record")
+	return call, ok
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	du := analysis.CollectDefUse(fd, info)
+
+	// Expression-level rules: dropped records, self-waits, raw event
+	// literals, wait provenance. These are flow-insensitive.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := isRecordCall(info, n.X); ok {
+				pass.Reportf(call.Pos(), "result of Record() dropped; a recorded event synchronizes nothing until some stream Waits on it")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := isRecordCall(info, rhs)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "result of Record() dropped; a recorded event synchronizes nothing until some stream Waits on it")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok && hetsimNamed(tv.Type, "Event") {
+				pass.Reportf(n.Pos(), "raw hetsim.Event literal; events must come from Stream.Record so they carry the producer's timestamp")
+			}
+		case *ast.CallExpr:
+			if recv, ok := methodCall(info, n, "Stream", "Wait"); ok && len(n.Args) == 1 {
+				checkWaitArg(pass, du, recv, n.Args[0])
+			}
+		}
+		return true
+	})
+
+	// Recorded-but-never-consumed events. A blank assignment (_ = ev)
+	// keeps the compiler quiet but consumes nothing, so it does not
+	// count as a use here.
+	blankUses := countBlankUses(fd, info)
+	for obj, defs := range du.Defs {
+		if !hetsimNamed(obj.Type(), "Event") || du.Uses[obj] > blankUses[obj] || du.Params[obj] {
+			continue
+		}
+		for _, def := range defs {
+			if call, ok := isRecordCall(info, def); ok {
+				pass.Reportf(call.Pos(), "event %s recorded but never waited on; the synchronization edge it was meant to create does not exist", obj.Name())
+				break
+			}
+		}
+	}
+
+	checkTransfers(pass, fd)
+}
+
+// countBlankUses counts, per object, the reads that only feed a blank
+// identifier (_ = ev).
+func countBlankUses(fd *ast.FuncDecl, info *types.Info) map[types.Object]int {
+	out := map[types.Object]int{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || lid.Name != "_" {
+				continue
+			}
+			if rid, ok := as.Rhs[i].(*ast.Ident); ok {
+				if obj := info.Uses[rid]; obj != nil {
+					out[obj]++
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkWaitArg validates that a Wait argument is a recorded event: a
+// Record() call (on a different stream), a variable whose definitions
+// are all recorded events, a parameter, or a struct field.
+func checkWaitArg(pass *analysis.Pass, du *analysis.DefUse, recv, arg ast.Expr) {
+	info := pass.TypesInfo
+	switch arg := arg.(type) {
+	case *ast.CallExpr:
+		if _, ok := isRecordCall(info, arg); !ok {
+			pass.Reportf(arg.Pos(), "Wait argument is a call that is not Stream.Record; only recorded events order streams")
+			return
+		}
+		rsel := arg.Fun.(*ast.SelectorExpr)
+		if types.ExprString(rsel.X) == types.ExprString(recv) {
+			pass.Reportf(arg.Pos(), "stream waits on its own event; Wait(s.Record()) on stream s is a no-op and synchronizes nothing")
+		}
+	case *ast.Ident:
+		obj := info.Uses[arg]
+		if obj == nil || du.Params[obj] {
+			return
+		}
+		defs, known := du.Defs[obj]
+		if !known {
+			return // not a local (package var or captured); trust it
+		}
+		if len(defs) == 0 {
+			pass.Reportf(arg.Pos(), "Wait argument %s is a zero-value event that was never recorded", arg.Name)
+			return
+		}
+		for _, def := range defs {
+			switch def := def.(type) {
+			case *ast.CallExpr:
+				if _, ok := isRecordCall(info, def); !ok {
+					pass.Reportf(arg.Pos(), "Wait argument %s holds a value that is not a recorded event", arg.Name)
+					return
+				}
+			case *ast.SelectorExpr, *ast.Ident:
+				// Copied from a field or another variable; trust it.
+			default:
+				pass.Reportf(arg.Pos(), "Wait argument %s holds a value that is not a recorded event", arg.Name)
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		// Event stored in a struct field; provenance is out of scope.
+	default:
+		pass.Reportf(arg.Pos(), "Wait argument is not a recorded event")
+	}
+}
+
+// checkTransfers requires every Link.Transfer on stream s to be
+// dominated by a synchronization on s: an s.Wait, a Launch into s, an
+// earlier Transfer on s, or the creation of s. Loop bodies count as
+// dominating their exits (at-least-once semantics): the stream fans
+// this code iterates over are non-empty by construction.
+func checkTransfers(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	g := analysis.BuildCFG(fd.Body)
+
+	type syncSite struct {
+		node *analysis.Node
+		pos  token.Pos
+	}
+	type transferSite struct {
+		node   *analysis.Node
+		call   *ast.CallExpr
+		stream string
+	}
+	syncs := map[string][]syncSite{}
+	var transfers []transferSite
+
+	scan := func(node *analysis.Node, root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// A closure body runs when invoked (kernel bodies run at
+				// launch completion), not at this program point.
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.Defs[id]; obj != nil && hetsimNamed(obj.Type(), "Stream") {
+							syncs[id.Name] = append(syncs[id.Name], syncSite{node, id.Pos()})
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if recv, ok := methodCall(info, n, "Stream", "Wait"); ok {
+					syncs[types.ExprString(recv)] = append(syncs[types.ExprString(recv)], syncSite{node, n.Pos()})
+				}
+				if _, ok := methodCall(info, n, "Device", "Launch"); ok && len(n.Args) >= 1 {
+					s := types.ExprString(n.Args[0])
+					syncs[s] = append(syncs[s], syncSite{node, n.Pos()})
+				}
+				if _, ok := methodCall(info, n, "Link", "Transfer"); ok && len(n.Args) >= 1 {
+					s := types.ExprString(n.Args[0])
+					transfers = append(transfers, transferSite{node, n, s})
+					syncs[s] = append(syncs[s], syncSite{node, n.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	for _, node := range g.Nodes {
+		switch node.Kind {
+		case analysis.NodeStmt:
+			scan(node, node.Stmt)
+		case analysis.NodeCond:
+			if node.Cond != nil {
+				scan(node, node.Cond)
+			}
+		}
+	}
+	if len(transfers) == 0 {
+		return
+	}
+
+	dom := g.Dominators(analysis.PathOpts{SkipZeroTrip: true})
+	for _, t := range transfers {
+		ok := false
+		for _, s := range syncs[t.stream] {
+			if s.node == t.node {
+				if s.pos < t.call.Pos() {
+					ok = true
+					break
+				}
+				continue
+			}
+			if dom[t.node.Index][s.node] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(t.call.Pos(), "Transfer on stream %s is not dominated by a synchronization on that stream; add a %s.Wait(producer.Record()) edge before it", t.stream, t.stream)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package streamsync_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/streamsync"
+)
+
+func TestStreamsync(t *testing.T) {
+	analysistest.Run(t, streamsync.Analyzer, "testdata/src/streamsynctest",
+		analysistest.ImportAs("abftchol/internal/core/streamsynctest"))
+}
+
+// TestStreamsyncScope loads the same violations outside the scoped
+// packages; the driver must not run the analyzer there.
+func TestStreamsyncScope(t *testing.T) {
+	analysistest.Run(t, streamsync.Analyzer, "testdata/src/unscoped")
+}

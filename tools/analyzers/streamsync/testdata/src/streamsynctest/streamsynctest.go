@@ -1,0 +1,86 @@
+// Package streamsynctest exercises the streamsync analyzer against
+// the real hetsim stream API.
+package streamsynctest
+
+import "abftchol/internal/hetsim"
+
+// goodTransfer has the canonical event edge before the transfer.
+func goodTransfer(p *hetsim.Platform, sc, sx *hetsim.Stream) {
+	sx.Wait(sc.Record())
+	p.Link.Transfer(sx, hetsim.DeviceToHost, 1e6)
+}
+
+// badTransfer consumes sc's results on sx with no ordering edge.
+func badTransfer(p *hetsim.Platform, sx *hetsim.Stream) {
+	p.Link.Transfer(sx, hetsim.DeviceToHost, 1e6) // want "Transfer on stream sx is not dominated by a synchronization"
+}
+
+// conditionalWait only sometimes establishes the edge, so the
+// transfer is not dominated.
+func conditionalWait(p *hetsim.Platform, sc, sx *hetsim.Stream, gate bool) {
+	if gate {
+		sx.Wait(sc.Record())
+	}
+	p.Link.Transfer(sx, hetsim.DeviceToHost, 1e6) // want "Transfer on stream sx is not dominated by a synchronization"
+}
+
+// launchCovers relies on in-stream ordering: the launch into s orders
+// the transfer behind the kernel.
+func launchCovers(p *hetsim.Platform, s *hetsim.Stream) {
+	p.GPU.Launch(s, hetsim.Kernel{Class: hetsim.ClassChkRecalc, Flops: 1, Slots: 1})
+	p.Link.Transfer(s, hetsim.DeviceToHost, 1e6)
+}
+
+// freshStream was just created, so nothing can race with it.
+func freshStream(p *hetsim.Platform) {
+	s := p.GPUStream()
+	p.Link.Transfer(s, hetsim.DeviceToHost, 1e6)
+	s.Done()
+}
+
+// loopWait exercises at-least-once loop semantics: the fan-in waits
+// inside the loop dominate the transfer after it.
+func loopWait(p *hetsim.Platform, sx *hetsim.Stream, fan []*hetsim.Stream) {
+	for _, s := range fan {
+		sx.Wait(s.Record())
+	}
+	p.Link.Transfer(sx, hetsim.DeviceToHost, 1e6)
+}
+
+func droppedRecord(s *hetsim.Stream) {
+	s.Record() // want "result of Record\\(\\) dropped"
+}
+
+func discardedRecord(s *hetsim.Stream) {
+	_ = s.Record() // want "result of Record\\(\\) dropped"
+}
+
+func selfWait(s *hetsim.Stream) {
+	s.Wait(s.Record()) // want "waits on its own event"
+}
+
+func rawEvent(s *hetsim.Stream) {
+	s.Wait(hetsim.Event{T: 1}) // want "raw hetsim.Event literal" "Wait argument is not a recorded event"
+}
+
+func unusedEvent(s *hetsim.Stream) {
+	ev := s.Record() // want "event ev recorded but never waited on"
+	_ = ev
+}
+
+// consumedEvent passes the event across streams; every piece is used.
+func consumedEvent(sc, supd *hetsim.Stream) {
+	ev := sc.Record()
+	supd.Wait(ev)
+}
+
+func zeroEvent(s *hetsim.Stream) {
+	var ev hetsim.Event
+	s.Wait(ev) // want "zero-value event that was never recorded"
+}
+
+// escaped exercises the sanctioned escape hatch; suppression must
+// absorb the diagnostic.
+func escaped(s *hetsim.Stream) {
+	s.Record() //nolint:streamsync — exercising the escape hatch in testdata
+}

@@ -1,0 +1,13 @@
+// Package unscoped holds streamsync violations under an import path
+// the analyzer does not guard; nothing may fire.
+package unscoped
+
+import "abftchol/internal/hetsim"
+
+func badTransfer(p *hetsim.Platform, sx *hetsim.Stream) {
+	p.Link.Transfer(sx, hetsim.DeviceToHost, 1e6)
+}
+
+func droppedRecord(s *hetsim.Stream) {
+	s.Record()
+}

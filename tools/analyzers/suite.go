@@ -2,14 +2,19 @@
 // that keep the repository's fault-tolerance invariants machine
 // checked. See docs/LINTING.md for the invariant each pass guards and
 // the sanctioned //nolint escape hatch.
+//
+//go:generate go run abftchol/tools/analyzers/gendoc
 package analyzers
 
 import (
 	"abftchol/tools/analyzers/analysis"
 	"abftchol/tools/analyzers/detsim"
 	"abftchol/tools/analyzers/floateq"
+	"abftchol/tools/analyzers/injectortick"
 	"abftchol/tools/analyzers/matindex"
 	"abftchol/tools/analyzers/nakedgoroutine"
+	"abftchol/tools/analyzers/streamsync"
+	"abftchol/tools/analyzers/verifyread"
 )
 
 // Suite lists every analyzer the abftlint driver runs, in the order
@@ -17,6 +22,9 @@ import (
 var Suite = []*analysis.Analyzer{
 	detsim.Analyzer,
 	floateq.Analyzer,
+	injectortick.Analyzer,
 	matindex.Analyzer,
 	nakedgoroutine.Analyzer,
+	streamsync.Analyzer,
+	verifyread.Analyzer,
 }

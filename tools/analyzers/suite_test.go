@@ -1,0 +1,49 @@
+package analyzers_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"abftchol/tools/analyzers"
+)
+
+// TestSuiteWellFormed pins the registry's contract: every analyzer is
+// uniquely named and fully described, since names key the //nolint
+// escape hatch and docs.
+func TestSuiteWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analyzers.Suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing Name, Doc, or Run", a)
+		}
+		if a.Scope == "" {
+			t.Errorf("analyzer %s has no Scope; the generated doc table needs one", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %s; //nolint:%s would be ambiguous", a.Name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestDocTableCurrent fails when docs/LINTING.md's generated analyzer
+// table no longer matches the registry — the regeneration command is
+// in the failure message, so doc and registry cannot drift silently.
+func TestDocTableCurrent(t *testing.T) {
+	data, err := os.ReadFile("../../docs/LINTING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	want := analyzers.TableBegin + "\n" + analyzers.AnalyzerTable()
+	if !strings.Contains(doc, want) {
+		t.Fatalf("docs/LINTING.md's analyzer table is stale; run `go generate ./tools/analyzers` to regenerate it from the Suite registry")
+	}
+	// Each registered analyzer also needs its prose section.
+	for _, a := range analyzers.Suite {
+		if !strings.Contains(doc, "## "+a.Name+" — ") {
+			t.Errorf("docs/LINTING.md has no `## %s — ...` section; document the invariant, rationale, failing example, and escape hatch", a.Name)
+		}
+	}
+}

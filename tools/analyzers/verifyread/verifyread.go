@@ -1,0 +1,340 @@
+// Package verifyread enforces the verification discipline of the two
+// online ABFT schemes on the factorization drivers (internal/core).
+// Online-ABFT must verify a block's checksum right after the kernel
+// that writes it; Enhanced Online-ABFT moves verification to right
+// before the kernels that read a block, amortized to every K-th
+// iteration where §V-C shows delayed detection stays recoverable. A
+// step that drifts out of this discipline silently shrinks the error
+// coverage the paper's recovery argument depends on, and nothing
+// crashes: fault-campaign numbers just quietly degrade.
+//
+// The analyzer encodes the discipline as a per-variant protocol table
+// (which driver functions exist, which step methods they must guard)
+// and checks each scheme by specializing the driver's CFG to it: the
+// branch conditions `sch == SchemeX`, `sch.FaultTolerant()`, and the
+// locals derived from them are resolved under the assumed scheme, the
+// K-gate (`j%K == 0`) and iteration-progress guards (`j > 0`) are
+// granted, and then
+//
+//   - under SchemeEnhanced every protocol step must be dominated by a
+//     verifyBlocks call (pre-read verification), and
+//   - under SchemeOnline no protocol step may reach the function exit
+//     without passing a verifyBlocks call or an error return
+//     (post-write verification).
+package verifyread
+
+import (
+	"go/ast"
+	"go/types"
+
+	"abftchol/tools/analyzers/analysis"
+)
+
+// Doc explains the analyzer; it is also the driver help text.
+const Doc = "enforce Online (post-write) and Enhanced (pre-read) checksum-verification ordering in the core drivers"
+
+const corePath = "abftchol/internal/core"
+
+// verifierName is the method whose call satisfies the discipline.
+const verifierName = "verifyBlocks"
+
+// protocol lists, per driver function, the step methods whose launches
+// consume or produce blocks on the fault-tolerant path and therefore
+// fall under the verification discipline.
+var protocol = map[string][]string{
+	"runOnce":      {"syrk", "gemm", "potf2", "trsm"},
+	"runOnceRight": {"potf2", "trsm", "trailingUpdate"},
+}
+
+// spec is one protocol specialization: the scheme constant assumed
+// true and the direction of the discipline it imposes.
+type spec struct {
+	scheme  string // Scheme constant name, e.g. "SchemeEnhanced"
+	ft      bool   // value of Scheme.FaultTolerant() under this scheme
+	preRead bool   // verify-before-read (Enhanced) vs verify-after-write
+}
+
+var specs = []spec{
+	{scheme: "SchemeEnhanced", ft: true, preRead: true},
+	{scheme: "SchemeOnline", ft: true, preRead: false},
+}
+
+// Analyzer implements the pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "verifyread",
+	Doc:       Doc,
+	Scope:     "internal/core",
+	AppliesTo: analysis.PathIn(corePath),
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	found := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			steps, ok := protocol[fd.Name.Name]
+			if !ok {
+				continue
+			}
+			found[fd.Name.Name] = true
+			checkDriver(pass, fd, steps)
+		}
+	}
+	// Table drift: the real core package must declare every driver the
+	// table names, or the table (and this analyzer) is checking air.
+	if pass.ImportPath == corePath && pass.Pkg != nil && pass.Pkg.Name() == "core" {
+		for name := range protocol {
+			if !found[name] {
+				pass.Reportf(pass.Files[0].Name.Pos(), "verifyread's protocol table names %s but internal/core does not declare it; update the table", name)
+			}
+		}
+	}
+	return nil
+}
+
+// callSite holds one protocol-step call found in a driver.
+type callSite struct {
+	node *analysis.Node
+	name string
+	call *ast.CallExpr
+}
+
+func checkDriver(pass *analysis.Pass, fd *ast.FuncDecl, steps []string) {
+	info := pass.TypesInfo
+	stepSet := map[string]bool{}
+	for _, s := range steps {
+		stepSet[s] = true
+	}
+
+	g := analysis.BuildCFG(fd.Body)
+	du := analysis.CollectDefUse(fd, info)
+
+	var sites []callSite
+	verify := map[*analysis.Node]bool{}
+	errReturn := map[*analysis.Node]bool{}
+	for _, n := range g.Nodes {
+		if n.Kind != analysis.NodeStmt {
+			continue
+		}
+		if ret, ok := n.Stmt.(*ast.ReturnStmt); ok && returnsError(info, ret) {
+			errReturn[n] = true
+		}
+		node := n
+		ast.Inspect(n.Stmt, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case sel.Sel.Name == verifierName:
+				verify[node] = true
+			case stepSet[sel.Sel.Name]:
+				sites = append(sites, callSite{node, sel.Sel.Name, call})
+			}
+			return true
+		})
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	for _, sp := range specs {
+		rs := resolver(info, du, sp)
+		opts := analysis.PathOpts{Resolve: rs}
+		if sp.preRead {
+			// A step reachable from entry without crossing a verify is
+			// read-before-verify.
+			reach := g.Reachable(g.Entry, analysis.PathOpts{
+				Resolve: rs,
+				Barrier: func(n *analysis.Node) bool { return verify[n] },
+			})
+			for _, s := range sites {
+				if reach[s.node] && !verify[s.node] {
+					pass.Reportf(s.call.Pos(), "on the %s path, %s is reachable without a preceding %s; Enhanced Online-ABFT must verify blocks before they are read", sp.scheme, s.name, verifierName)
+				}
+			}
+			continue
+		}
+		// Post-write: from each live step, the function exit must not be
+		// reachable without crossing a verify or aborting with an error.
+		live := g.Reachable(g.Entry, opts)
+		for _, s := range sites {
+			if !live[s.node] {
+				continue // this step does not run under the scheme
+			}
+			after := g.Reachable(s.node, analysis.PathOpts{
+				Resolve: rs,
+				Barrier: func(n *analysis.Node) bool { return verify[n] || errReturn[n] },
+			})
+			if after[g.Exit] {
+				pass.Reportf(s.call.Pos(), "on the %s path, %s can reach the function exit without a subsequent %s; Online-ABFT must verify blocks right after they are written", sp.scheme, s.name, verifierName)
+			}
+		}
+	}
+}
+
+// returnsError matches `return err` / `return fmt.Errorf(...)` — a
+// return whose single result is a non-nil error expression.
+func returnsError(info *types.Info, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) != 1 {
+		return false
+	}
+	r := ret.Results[0]
+	if id, ok := r.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	tv, ok := info.Types[r]
+	return ok && tv.Type != nil && tv.Type.String() == "error"
+}
+
+// resolver builds the condition oracle for one specialization. It
+// grants the protocol's sanctioned relaxations — the K-gate and
+// iteration-progress guards hold — and resolves scheme tests and the
+// booleans derived from them.
+func resolver(info *types.Info, du *analysis.DefUse, sp spec) func(ast.Expr) (bool, bool) {
+	var eval func(e ast.Expr, depth int) (bool, bool)
+	eval = func(e ast.Expr, depth int) (bool, bool) {
+		if depth > 8 {
+			return false, false
+		}
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return eval(e.X, depth)
+		case *ast.UnaryExpr:
+			if e.Op.String() == "!" {
+				if v, ok := eval(e.X, depth+1); ok {
+					return !v, true
+				}
+			}
+		case *ast.BinaryExpr:
+			switch e.Op.String() {
+			case "&&":
+				lv, lk := eval(e.X, depth+1)
+				rv, rk := eval(e.Y, depth+1)
+				if (lk && !lv) || (rk && !rv) {
+					return false, true
+				}
+				if lk && rk {
+					return lv && rv, true
+				}
+			case "||":
+				lv, lk := eval(e.X, depth+1)
+				rv, rk := eval(e.Y, depth+1)
+				if (lk && lv) || (rk && rv) {
+					return true, true
+				}
+				if lk && rk {
+					return false, true
+				}
+			case "==", "!=":
+				if v, ok := schemeTest(info, e.X, e.Y, sp); ok {
+					if e.Op.String() == "!=" {
+						return !v, true
+					}
+					return v, true
+				}
+				// K-gate: j % K == 0 is granted (§V-C permits the
+				// amortized discipline).
+				if e.Op.String() == "==" && isModulo(e.X) && isZero(e.Y) {
+					return true, true
+				}
+			case ">":
+				// Iteration-progress guards (j > 0, m > 0) are granted:
+				// the discipline is judged on steady-state iterations.
+				if isZero(e.Y) {
+					if _, ok := e.X.(*ast.Ident); ok {
+						return true, true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// sch.FaultTolerant() has a fixed value per scheme.
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "FaultTolerant" {
+				if tv, ok := info.Types[sel.X]; ok && isSchemeType(tv.Type) {
+					return sp.ft, true
+				}
+			}
+		case *ast.Ident:
+			// A boolean local with exactly one definition inherits the
+			// resolved value of its defining expression (ft, online,
+			// gate in the drivers).
+			obj := info.Uses[e]
+			if obj == nil {
+				break
+			}
+			if defs := du.Defs[obj]; len(defs) == 1 && defs[0] != nil {
+				return eval(defs[0], depth+1)
+			}
+		}
+		return false, false
+	}
+	return func(cond ast.Expr) (bool, bool) { return eval(cond, 0) }
+}
+
+// schemeTest resolves `X == Y` where one side is a Scheme constant and
+// the other a non-constant Scheme expression: under the
+// specialization, the expression holds exactly the assumed scheme.
+func schemeTest(info *types.Info, x, y ast.Expr, sp spec) (bool, bool) {
+	if name, ok := schemeConst(info, x); ok && isSchemeExpr(info, y) {
+		return name == sp.scheme, true
+	}
+	if name, ok := schemeConst(info, y); ok && isSchemeExpr(info, x) {
+		return name == sp.scheme, true
+	}
+	return false, false
+}
+
+func schemeConst(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || !isSchemeType(c.Type()) {
+		return "", false
+	}
+	return c.Name(), true
+}
+
+func isSchemeExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return isSchemeType(tv.Type)
+}
+
+func isSchemeType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Scheme" && obj.Pkg() != nil && obj.Pkg().Path() == corePath
+}
+
+func isModulo(e ast.Expr) bool {
+	b, ok := e.(*ast.BinaryExpr)
+	return ok && b.Op.String() == "%"
+}
+
+func isZero(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

@@ -1,0 +1,13 @@
+package verifyread_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/verifyread"
+)
+
+func TestVerifyread(t *testing.T) {
+	analysistest.Run(t, verifyread.Analyzer, "testdata/src/verifyreadtest",
+		analysistest.ImportAs("abftchol/internal/core/verifyreadtest"))
+}

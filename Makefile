@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint ci fmt
+.PHONY: build test race lint ci fmt bench trace-demo
 
 build:
 	$(GO) build ./...
@@ -34,5 +34,23 @@ lint:
 # Rewrite files in place to satisfy the formatting gate.
 fmt:
 	gofmt -w .
+
+# Benchmarks plus a deterministic metrics snapshot of the full
+# experiment sweep, so a perf investigation always has the matching
+# kernel/verification counters next to the timings.
+bench:
+	mkdir -p artifacts
+	$(GO) test -bench=. -benchmem ./... | tee artifacts/bench.txt
+	$(GO) run ./cmd/abftchol -exp all -quick -metrics-out artifacts/bench-metrics.json > /dev/null
+
+# The observability artifacts CI uploads: a Perfetto-loadable Chrome
+# trace of the fig8 sweep's last run plus the sweep's metrics
+# snapshot (see docs/OBSERVABILITY.md for how to read both).
+trace-demo:
+	mkdir -p artifacts
+	$(GO) run ./cmd/abftchol -exp fig8 -quick \
+		-trace-out artifacts/fig8-trace.json \
+		-metrics-out artifacts/fig8-metrics.json > artifacts/fig8.txt
+	@echo "wrote artifacts/fig8-trace.json artifacts/fig8-metrics.json artifacts/fig8.txt"
 
 ci: build lint race

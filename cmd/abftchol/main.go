@@ -14,6 +14,11 @@
 //	abftchol -run -machine tardis -n 20480 -scheme enhanced -k 3
 //	abftchol -run -machine laptop -n 512 -scheme online -real \
 //	         -inject storage@4 -delta 1e5
+//
+// Export observability artifacts (see docs/OBSERVABILITY.md):
+//
+//	abftchol -exp fig8 -quick -trace-out fig8.json -metrics-out fig8-metrics.json
+//	abftchol -run -n 5120 -scheme enhanced -trace-out run.jsonl -pprof cpu.out
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"abftchol/internal/fault"
 	"abftchol/internal/hetsim"
 	"abftchol/internal/mat"
+	"abftchol/internal/obs"
 	"abftchol/internal/reliability"
 )
 
@@ -56,8 +62,19 @@ func main() {
 		trace   = flag.Bool("trace", false, "render an ASCII timeline of the run (-run, small n)")
 		variant = flag.String("variant", "left", "blocked formulation: left (paper) or right (ablation)")
 		vectors = flag.Int("vectors", 2, "checksum vectors per block (2 = paper; 4 corrects 2 errors/column)")
+
+		traceOut   = flag.String("trace-out", "", "write the run's timeline here (.json Chrome/Perfetto, .jsonl compact); with -exp, the last run's")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot accumulated over the run(s) here")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the tool itself here")
 	)
 	flag.Parse()
+
+	stopProfile, err := startProfile(*pprofOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfile()
+	oc := obsCfg{traceOut: *traceOut, metricsOut: *metricsOut}
 
 	switch {
 	case *chooseK:
@@ -88,7 +105,7 @@ func main() {
 		}
 		fmt.Println("verify")
 	case *expID != "":
-		if err := runExperiments(*expID, *csv, *quick, *plot, *jsonOut); err != nil {
+		if err := runExperiments(*expID, *csv, *quick, *plot, *jsonOut, oc); err != nil {
 			fatal(err)
 		}
 	case *doRun:
@@ -97,7 +114,7 @@ func main() {
 			opt1: !*noOpt1, place: *place, real: *real,
 			inject: *inject, delta: *delta, seed: *seed,
 			trace: *trace, variant: *variant, vectors: *vectors,
-		}); err != nil {
+		}, oc); err != nil {
 			fatal(err)
 		}
 	default:
@@ -111,12 +128,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runExperiments(id string, csv, quick, plot, jsonOut bool) error {
+func runExperiments(id string, csv, quick, plot, jsonOut bool, oc obsCfg) error {
 	var cfg experiments.Config
 	if quick {
 		cfg.Sizes = []int{5120, 10240}
 		cfg.CapabilityN = 10240
 	}
+	cfg.Obs = oc.sink()
 	if id == "verify" {
 		rep := experiments.RunShapeChecks(cfg)
 		if jsonOut {
@@ -127,6 +145,9 @@ func runExperiments(id string, csv, quick, plot, jsonOut bool) error {
 			fmt.Print(s)
 		} else {
 			fmt.Print(rep)
+		}
+		if err := oc.flush(cfg.Obs, id); err != nil {
+			return err
 		}
 		if !rep.Passed() {
 			os.Exit(1)
@@ -179,7 +200,7 @@ func runExperiments(id string, csv, quick, plot, jsonOut bool) error {
 			fmt.Println(out)
 		}
 	}
-	return nil
+	return oc.flush(cfg.Obs, id)
 }
 
 func parseScheme(s string) (core.Scheme, error) {
@@ -252,7 +273,7 @@ type runCfg struct {
 	opt1, real, trace                       bool
 }
 
-func runOne(c runCfg) error {
+func runOne(c runCfg, oc obsCfg) error {
 	prof, err := hetsim.ProfileByName(c.machine)
 	if err != nil {
 		return err
@@ -287,7 +308,12 @@ func runOne(c runCfg) error {
 		ConcurrentRecalc: c.opt1,
 		Placement:        placement,
 		Scenarios:        scenarios,
-		Trace:            c.trace,
+		Trace:            c.trace || oc.traceOut != "",
+	}
+	var reg *obs.Registry
+	if oc.metricsOut != "" {
+		reg = obs.NewRegistry()
+		o.Metrics = reg
 	}
 	if c.trace && c.n/prof.BlockSize > 16 {
 		return fmt.Errorf("-trace is readable only for small runs; use n <= %d on this machine", 16*prof.BlockSize)
@@ -318,11 +344,17 @@ func runOne(c runCfg) error {
 	if input != nil && res.L != nil {
 		fmt.Printf("residual     %.3g\n", mat.CholeskyResidual(input, res.L))
 	}
-	if res.Trace != nil {
+	if c.trace && res.Trace != nil {
 		fmt.Println()
 		fmt.Print(res.Trace.Gantt(100))
 		fmt.Println()
 		fmt.Print(res.Trace.Utilization(res.Time))
 	}
-	return nil
+	if err := oc.writeMetrics(reg); err != nil {
+		return err
+	}
+	return oc.writeTrace(res.Trace, map[string]string{
+		"tool": "abftchol",
+		"run":  fmt.Sprintf("%s n=%d K=%d %s", res.Scheme, res.N, res.K, res.Placement),
+	})
 }

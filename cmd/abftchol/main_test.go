@@ -1,11 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"abftchol/internal/core"
 	"abftchol/internal/fault"
+	"abftchol/internal/obs"
 )
 
 // silence routes the command's stdout to /dev/null for the duration of
@@ -104,14 +108,14 @@ func TestRunExperimentsModes(t *testing.T) {
 		{false, true, false},
 		{false, false, true},
 	} {
-		if err := runExperiments("fig12", mode.csv, true, mode.plot, mode.json); err != nil {
+		if err := runExperiments("fig12", mode.csv, true, mode.plot, mode.json, obsCfg{}); err != nil {
 			t.Fatalf("mode %+v: %v", mode, err)
 		}
 	}
-	if err := runExperiments("table7", false, true, false, true); err != nil {
+	if err := runExperiments("table7", false, true, false, true, obsCfg{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runExperiments("nope", false, true, false, false); err == nil {
+	if err := runExperiments("nope", false, true, false, false, obsCfg{}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -123,7 +127,7 @@ func TestRunOneRealWithEverything(t *testing.T) {
 		n: 128, k: 2, vectors: 4, real: true, trace: true,
 		inject: "storage@2", delta: 1e4, seed: 5, opt1: true,
 	}
-	if err := runOne(cfg); err != nil {
+	if err := runOne(cfg, obsCfg{}); err != nil {
 		t.Fatalf("full-feature run failed: %v", err)
 	}
 }
@@ -133,28 +137,121 @@ func TestRunOneValidation(t *testing.T) {
 	base := runCfg{machine: "laptop", scheme: "enhanced", place: "auto", variant: "left", n: 64, k: 1, vectors: 2}
 	bad := base
 	bad.machine = "nope"
-	if err := runOne(bad); err == nil {
+	if err := runOne(bad, obsCfg{}); err == nil {
 		t.Fatal("bad machine accepted")
 	}
 	bad = base
 	bad.variant = "diagonal"
-	if err := runOne(bad); err == nil {
+	if err := runOne(bad, obsCfg{}); err == nil {
 		t.Fatal("bad variant accepted")
 	}
 	bad = base
 	bad.real = true
 	bad.n = 8192
-	if err := runOne(bad); err == nil {
+	if err := runOne(bad, obsCfg{}); err == nil {
 		t.Fatal("huge -real accepted")
 	}
 	bad = base
 	bad.trace = true
 	bad.n = 4096 // 128 blocks on laptop: too many rows for a gantt
-	if err := runOne(bad); err == nil {
+	if err := runOne(bad, obsCfg{}); err == nil {
 		t.Fatal("huge -trace accepted")
 	}
 	// And a good one end to end (model plane, tiny).
-	if err := runOne(base); err != nil {
+	if err := runOne(base, obsCfg{}); err != nil {
 		t.Fatalf("valid run failed: %v", err)
 	}
+}
+
+func TestObsOutputFlags(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	oc := obsCfg{
+		traceOut:   filepath.Join(dir, "trace.json"),
+		metricsOut: filepath.Join(dir, "metrics.json"),
+	}
+
+	// -run mode: both artifacts appear and are well formed.
+	base := runCfg{machine: "laptop", scheme: "enhanced", place: "auto", variant: "left", n: 256, k: 1, vectors: 2, opt1: true}
+	if err := runOne(base, oc); err != nil {
+		t.Fatal(err)
+	}
+	traceData, err := os.ReadFile(oc.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChromeTrace(traceData); err != nil {
+		t.Errorf("-run trace output invalid: %v", err)
+	}
+	checkMetricsFile(t, oc.metricsOut, 1)
+
+	// .jsonl extension selects the compact form: every line is JSON.
+	oc2 := obsCfg{traceOut: filepath.Join(dir, "trace.jsonl")}
+	if err := runOne(base, oc2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(oc2.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("jsonl line %d is not valid JSON: %q", i, line)
+		}
+	}
+
+	// -exp mode: the sweep accumulates into one snapshot and retains
+	// the last run's trace.
+	oc3 := obsCfg{
+		traceOut:   filepath.Join(dir, "fig12.json"),
+		metricsOut: filepath.Join(dir, "fig12-metrics.json"),
+	}
+	if err := runExperiments("fig12", false, true, false, false, oc3); err != nil {
+		t.Fatal(err)
+	}
+	traceData, err = os.ReadFile(oc3.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChromeTrace(traceData); err != nil {
+		t.Errorf("-exp trace output invalid: %v", err)
+	}
+	// fig12 (quick): 2 sizes x (1 baseline + 3 K settings).
+	checkMetricsFile(t, oc3.metricsOut, 8)
+}
+
+// checkMetricsFile parses a written snapshot and asserts its run count.
+func checkMetricsFile(t *testing.T, path string, wantRuns int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	if got := snap.Counters["run.count"]; got != wantRuns {
+		t.Errorf("%s: run.count = %d, want %d", path, got, wantRuns)
+	}
+}
+
+func TestStartProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.out")
+	stop, err := startProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("profile file missing or empty: %v", err)
+	}
+	// Empty path is a no-op.
+	stop, err = startProfile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
 }

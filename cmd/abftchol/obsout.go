@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+
+	"abftchol/internal/experiments"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/obs"
+)
+
+// obsCfg bundles the observability output flags shared by -run and
+// -exp: where to write the timeline and the metrics snapshot.
+type obsCfg struct {
+	traceOut, metricsOut string
+}
+
+func (c obsCfg) active() bool { return c.traceOut != "" || c.metricsOut != "" }
+
+// sink builds the experiments-mode collector, or nil when no output
+// was requested.
+func (c obsCfg) sink() *experiments.Obs {
+	if !c.active() {
+		return nil
+	}
+	s := &experiments.Obs{CaptureTrace: c.traceOut != ""}
+	if c.metricsOut != "" {
+		s.Metrics = obs.NewRegistry()
+	}
+	return s
+}
+
+// writeMetrics snapshots reg to the -metrics-out path.
+func (c obsCfg) writeMetrics(reg *obs.Registry) error {
+	if c.metricsOut == "" || reg == nil {
+		return nil
+	}
+	snap, err := reg.Snapshot()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.metricsOut, snap, 0o644)
+}
+
+// writeTrace exports tr to the -trace-out path, choosing the format
+// from the file extension (.jsonl for the compact line form, anything
+// else for Chrome trace-event JSON).
+func (c obsCfg) writeTrace(tr *hetsim.Trace, meta map[string]string) error {
+	if c.traceOut == "" {
+		return nil
+	}
+	if tr == nil {
+		return fmt.Errorf("-trace-out: no timeline was captured")
+	}
+	f, err := os.Create(c.traceOut)
+	if err != nil {
+		return err
+	}
+	if obs.TraceFormatForPath(c.traceOut) == "jsonl" {
+		err = obs.WriteJSONL(f, tr)
+	} else {
+		err = obs.WriteChromeTrace(f, tr, meta)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// flush writes whatever the experiments sink collected.
+func (c obsCfg) flush(s *experiments.Obs, expID string) error {
+	if s == nil {
+		return nil
+	}
+	if err := c.writeMetrics(s.Metrics); err != nil {
+		return err
+	}
+	if c.traceOut == "" {
+		return nil
+	}
+	return c.writeTrace(s.LastTrace, map[string]string{
+		"tool":       "abftchol",
+		"experiment": expID,
+		"run":        s.LastTraceLabel,
+	})
+}
+
+// startProfile begins a CPU profile of the tool itself (-pprof) and
+// returns the function that finishes it.
+func startProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}

@@ -78,6 +78,7 @@ func Run(o Options) (Result, error) {
 		res.L = e.a.Clone()
 		res.L.LowerFromFull()
 	}
+	e.finalizeMetrics(&res)
 	if runErr != nil {
 		return res, fmt.Errorf("core: %s failed after %d attempts: %w", o.Scheme, attempts, runErr)
 	}
@@ -99,6 +100,7 @@ func (e *exec) runOnce() error {
 		e.encode()
 	}
 	for j := 0; j < e.nb; j++ {
+		e.markIteration(j)
 		e.inj.StorageTick(j)
 		evPanelReady := e.sc.Record()
 		m := e.nb - j - 1

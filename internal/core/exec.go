@@ -44,9 +44,10 @@ type exec struct {
 
 	trace *hetsim.Trace
 
-	verified  int
-	corrected int
-	failstop  int
+	verified      int
+	verifyBatches int
+	corrected     int
+	failstop      int
 }
 
 func newExec(o *Options, nb int) *exec {
@@ -77,9 +78,7 @@ func newExec(o *Options, nb int) *exec {
 	if e.bigSlots >= 4 {
 		e.bigSlots--
 	}
-	if o.Trace {
-		e.trace = plat.StartTrace()
-	}
+	e.attachObservability()
 	e.sc = plat.GPUStream()
 	e.sx = plat.GPUStream()
 	e.scpu = plat.CPUStream()
@@ -125,7 +124,9 @@ func newExec(o *Options, nb int) *exec {
 // fired — the paper's experiments inject each error once, so the redo
 // runs clean.
 func (e *exec) reset() {
-	e.plat.AlignAll(e.plat.Sync())
+	t := e.plat.Sync()
+	e.trace.Mark("restart", t)
+	e.plat.AlignAll(t)
 	if e.a != nil {
 		e.a.CopyFrom(e.opts.Data)
 	}
@@ -237,6 +238,10 @@ func (e *errUncorrectable) Error() string {
 func (e *exec) verifyBlocks(blocks [][2]int) error {
 	if len(blocks) == 0 {
 		return nil
+	}
+	e.verifyBatches++
+	if e.opts.Metrics != nil {
+		e.opts.Metrics.Observe("verify.batch_blocks", float64(len(blocks)))
 	}
 	// The recalculations read data (compute stream) and stored
 	// checksums (update stream); both must be current.

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"abftchol/internal/obs"
+)
+
+// This file is core's half of the observability wiring: newExec
+// attaches a hetsim observer so the platform streams per-kernel
+// metrics into Options.Metrics as it launches, and finalizeMetrics
+// folds in the run-level accounting (verifications, faults, restarts,
+// slot contention) once the Result is assembled. The catalog of
+// emitted names lives in internal/obs; docs/OBSERVABILITY.md
+// documents every one.
+
+// schemeKey maps a Scheme to its metric-name key. The keys must match
+// obs.SchemeKeys (asserted by TestSchemeKeysMatchCatalog) so that
+// scheme.runs.<key> and scheme.seconds.<key> are always registered.
+func schemeKey(s Scheme) string {
+	switch s {
+	case SchemeNone:
+		return "magma"
+	case SchemeCULA:
+		return "cula"
+	case SchemeOffline:
+		return "offline"
+	case SchemeOnline:
+		return "online"
+	case SchemeEnhanced:
+		return "enhanced"
+	case SchemeOnlineScrub:
+		return "scrub"
+	}
+	return "magma"
+}
+
+// finalizeMetrics records the run-level metrics after the Result has
+// been assembled. Per-kernel metrics (launches, durations, transfers)
+// have already streamed in through the platform observer.
+func (e *exec) finalizeMetrics(res *Result) {
+	m := e.opts.Metrics
+	if m == nil {
+		return
+	}
+	m.Inc("run.count")
+	m.Add("run.attempts", int64(res.Attempts))
+	m.Add("run.restarts", int64(res.Attempts-1))
+	m.Add("run.failstops", int64(res.FailStop))
+	m.Add("verify.blocks", int64(res.VerifiedBlocks))
+	m.Add("verify.batches", int64(e.verifyBatches))
+	m.Add("fault.injected", int64(len(res.Injections)))
+	m.Add("fault.corrected", int64(res.Corrections))
+	m.Add("fault.propagations", int64(res.PropagationEvents))
+	m.AddValue("time.sim_seconds", res.Time)
+	key := schemeKey(res.Scheme)
+	m.Inc("scheme.runs." + key)
+	m.AddValue("scheme.seconds."+key, res.Time)
+	waits, delay := e.plat.GPU.Contention()
+	m.Add("slot.waits.gpu", int64(waits))
+	m.AddValue("slot.wait_seconds.gpu", delay)
+	waits, delay = e.plat.CPU.Contention()
+	m.Add("slot.waits.cpu", int64(waits))
+	m.AddValue("slot.wait_seconds.cpu", delay)
+}
+
+// attachObservability turns on the run's instrumentation per the
+// options: the platform observer feeding Options.Metrics and the
+// timeline trace feeding Result.Trace.
+func (e *exec) attachObservability() {
+	if e.opts.Trace {
+		e.trace = e.plat.StartTrace()
+	}
+	if e.opts.Metrics != nil {
+		e.plat.Observe(obs.NewPlatformObserver(e.opts.Metrics))
+	}
+}
+
+// markIteration drops an instant annotation for iteration j at the
+// compute stream's current frontier, so an exported trace shows where
+// each blocked iteration begins. No-op without a trace.
+func (e *exec) markIteration(j int) {
+	if e.trace == nil {
+		return
+	}
+	e.trace.Mark(fmt.Sprintf("iter[%d]", j), e.sc.Done())
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+	"abftchol/internal/obs"
+	"abftchol/internal/overhead"
+)
+
+// TestSchemeKeysMatchCatalog pins the schemeKey mapping to the
+// catalog's scheme.* name segments: a scheme whose key drifted away
+// from obs.SchemeKeys would panic the registry at runtime.
+func TestSchemeKeysMatchCatalog(t *testing.T) {
+	known := map[string]bool{}
+	for _, k := range obs.SchemeKeys {
+		known[k] = true
+	}
+	for _, s := range []Scheme{SchemeNone, SchemeCULA, SchemeOffline, SchemeOnline, SchemeEnhanced, SchemeOnlineScrub} {
+		if !known[schemeKey(s)] {
+			t.Errorf("schemeKey(%s) = %q is not in obs.SchemeKeys", s, schemeKey(s))
+		}
+	}
+}
+
+// TestMetricsMatchAnalytic cross-checks the streamed kernel counters
+// against both the left-looking schedule and internal/overhead's
+// closed-form verification-count predictions, per scheme and K.
+func TestMetricsMatchAnalytic(t *testing.T) {
+	prof := hetsim.Laptop()
+	n := 10 * prof.BlockSize
+	nb := n / prof.BlockSize
+	for _, tc := range []struct {
+		scheme Scheme
+		k      int
+	}{
+		{SchemeEnhanced, 1},
+		{SchemeEnhanced, 3},
+		{SchemeOnline, 1},
+		{SchemeOffline, 1},
+		{SchemeNone, 1},
+	} {
+		reg := obs.NewRegistry()
+		res, err := Run(Options{
+			Profile: prof, N: n, Scheme: tc.scheme, K: tc.k,
+			ConcurrentRecalc: true, Placement: PlaceAuto, Metrics: reg,
+		})
+		if err != nil {
+			t.Fatalf("%s K=%d: %v", tc.scheme, tc.k, err)
+		}
+
+		p := overhead.Params{N: n, B: prof.BlockSize, K: tc.k}
+		var wantVerified int
+		switch tc.scheme {
+		case SchemeEnhanced:
+			wantVerified = p.VerifiedBlocksEnhanced()
+		case SchemeOnline:
+			wantVerified = p.VerifiedBlocksOnline()
+		case SchemeOffline:
+			wantVerified = p.VerifiedBlocksOffline()
+		}
+		if res.VerifiedBlocks != wantVerified {
+			t.Errorf("%s K=%d: result verified %d blocks, model predicts %d", tc.scheme, tc.k, res.VerifiedBlocks, wantVerified)
+		}
+		if got := reg.Counter("verify.blocks"); got != int64(wantVerified) {
+			t.Errorf("%s K=%d: verify.blocks = %d, model predicts %d", tc.scheme, tc.k, got, wantVerified)
+		}
+
+		// Kernel launches follow Algorithm 1's schedule exactly.
+		wantLaunches := map[string]int64{
+			"kernel.launches.potf2": int64(nb),
+			"kernel.launches.syrk":  int64(nb - 1),
+			"kernel.launches.gemm":  int64(nb - 2),
+			"kernel.launches.trsm":  int64(nb - 1),
+		}
+		if tc.scheme.FaultTolerant() {
+			// One recalc kernel per verified block plus the encode;
+			// one update kernel shadowing each factorization kernel.
+			wantLaunches["kernel.launches.chk_recalc"] = int64(wantVerified) + 1
+			wantLaunches["kernel.launches.chk_update"] = int64(4*nb - 4)
+		} else {
+			wantLaunches["kernel.launches.chk_recalc"] = 0
+			wantLaunches["kernel.launches.chk_update"] = 0
+		}
+		for name, want := range wantLaunches {
+			if got := reg.Counter(name); got != want {
+				t.Errorf("%s K=%d: %s = %d, want %d", tc.scheme, tc.k, name, got, want)
+			}
+		}
+
+		// The diagonal round-trips once per iteration in both directions.
+		if got := reg.Counter("xfer.count.h2d"); got != int64(nb) {
+			t.Errorf("%s K=%d: xfer.count.h2d = %d, want %d", tc.scheme, tc.k, got, nb)
+		}
+		if got := reg.Counter("run.count"); got != 1 {
+			t.Errorf("%s K=%d: run.count = %d, want 1", tc.scheme, tc.k, got)
+		}
+		if got, want := reg.HistogramCount("verify.batch_blocks"), reg.Counter("verify.batches"); got != want {
+			t.Errorf("%s K=%d: batch histogram count %d != verify.batches %d", tc.scheme, tc.k, got, want)
+		}
+	}
+}
+
+// metricsSnapshot runs o with a fresh registry and returns the
+// serialized snapshot.
+func metricsSnapshot(t *testing.T, o Options) []byte {
+	t.Helper()
+	o.Metrics = obs.NewRegistry()
+	if _, err := Run(o); err != nil {
+		t.Fatalf("%s: %v", o.Scheme, err)
+	}
+	snap, err := o.Metrics.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestMetricsSnapshotDeterministic asserts the documented guarantee:
+// two runs with identical options (same seed on the real plane, same
+// injected faults) produce byte-identical metrics snapshots, on both
+// execution planes.
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	prof := hetsim.Laptop()
+	comp := fault.DefaultComputation(2)
+	comp.Delta = 1e3
+
+	// Model plane, with a corrected fault and recovery in the mix.
+	model := Options{
+		Profile: prof, N: 8 * prof.BlockSize, Scheme: SchemeEnhanced, K: 2,
+		ConcurrentRecalc: true, Placement: PlaceAuto,
+		Scenarios: []fault.Scenario{comp},
+	}
+	if a, b := metricsSnapshot(t, model), metricsSnapshot(t, model); !bytes.Equal(a, b) {
+		t.Error("model-plane snapshots differ between identical runs")
+	}
+
+	// Real plane: same generated SPD input both times.
+	real := Options{
+		Profile: prof, N: 4 * prof.BlockSize, Scheme: SchemeOnline,
+		Data: mat.RandSPD(4*prof.BlockSize, 42),
+	}
+	a := metricsSnapshot(t, real)
+	real.Data = mat.RandSPD(4*prof.BlockSize, 42)
+	b := metricsSnapshot(t, real)
+	if !bytes.Equal(a, b) {
+		t.Error("real-plane snapshots differ between identical same-seed runs")
+	}
+}
+
+// TestRestartAccounting injects an uncorrectable storage smear so the
+// run restarts, and checks the restart surfaces in the metrics and as
+// a trace mark.
+func TestRestartAccounting(t *testing.T) {
+	prof := hetsim.Laptop()
+	stor := fault.DefaultStorage(2)
+	stor.Delta = 1e3
+	reg := obs.NewRegistry()
+	res, err := Run(Options{
+		Profile: prof, N: 8 * prof.BlockSize, Scheme: SchemeOffline,
+		Scenarios: []fault.Scenario{stor},
+		Metrics:   reg, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 2 {
+		t.Skipf("scenario did not force a restart (attempts=%d)", res.Attempts)
+	}
+	if got := reg.Counter("run.restarts"); got != int64(res.Attempts-1) {
+		t.Errorf("run.restarts = %d, want %d", got, res.Attempts-1)
+	}
+	marks := 0
+	for _, m := range res.Trace.Marks {
+		if m.Name == "restart" {
+			marks++
+		}
+	}
+	if marks != res.Attempts-1 {
+		t.Errorf("trace has %d restart marks, want %d", marks, res.Attempts-1)
+	}
+}

@@ -23,6 +23,12 @@
 // tracked symbolically in a ledger — this is how the paper-scale
 // (20480²-30720²) experiments run. Timing comes from the hetsim
 // discrete-event platform in both planes.
+//
+// Every run is observable: Options.Trace records the full kernel and
+// transfer timeline for export, and Options.Metrics streams launch,
+// verification, fault, and recovery counters into an
+// internal/obs.Registry (see docs/OBSERVABILITY.md for the hook
+// points and artifact formats).
 package core
 
 import (
@@ -31,6 +37,7 @@ import (
 	"abftchol/internal/fault"
 	"abftchol/internal/hetsim"
 	"abftchol/internal/mat"
+	"abftchol/internal/obs"
 )
 
 // Scheme selects the fault-tolerance variant.
@@ -146,8 +153,15 @@ type Options struct {
 	MaxAttempts int
 	// Trace records the full kernel/transfer timeline in Result.Trace
 	// (costs memory proportional to the kernel count; meant for small
-	// runs and schedule assertions).
+	// runs and schedule assertions). Export it with
+	// obs.WriteChromeTrace / obs.WriteJSONL.
 	Trace bool
+	// Metrics, when non-nil, receives the run's observability
+	// counters and histograms (see internal/obs's catalog and
+	// docs/OBSERVABILITY.md): kernel launches and durations by class,
+	// transfers, verifications, fault accounting, restarts, slot
+	// contention. The same registry may accumulate several runs.
+	Metrics *obs.Registry
 }
 
 // normalize fills defaults and validates; it returns the block count.

@@ -57,6 +57,7 @@ func (e *exec) runOnceRight() error {
 		e.encode()
 	}
 	for j := 0; j < e.nb; j++ {
+		e.markIteration(j)
 		e.inj.StorageTick(j)
 		evPanelReady := e.sc.Record()
 		m := e.nb - j - 1

@@ -26,11 +26,11 @@ func MultiVectorFigure(prof hetsim.Profile, cfg Config) *Figure {
 	}
 	ms := []int{2, 4, 6}
 	for _, n := range cfg.sizes(prof) {
-		base := baseline(prof, n)
+		base := baseline(cfg, prof, n)
 		for si, m := range ms {
 			o := enhanced(prof, n, 1)
 			o.ChecksumVectors = m
-			f.Series[si].Points = append(f.Series[si].Points, Point{n, overheadPct(mustRun(o), base)})
+			f.Series[si].Points = append(f.Series[si].Points, Point{n, overheadPct(cfg.run(o), base)})
 		}
 	}
 	return f
@@ -62,7 +62,7 @@ func CoverageStudy(prof hetsim.Profile, cfg Config) *Figure {
 			{Label: "restart rate %"},
 		},
 	}
-	base := baseline(prof, n)
+	base := baseline(cfg, prof, n)
 	for _, k := range []int{1, 2, 3, 5, 8} {
 		var time, exposure, errors float64
 		restarts := 0
@@ -79,12 +79,13 @@ func CoverageStudy(prof hetsim.Profile, cfg Config) *Figure {
 			// the remaining errors; allow plenty of retries and treat
 			// an exhausted run like the restarts it performed.
 			o.MaxAttempts = 10
-			r, err := core.Run(o)
+			r, err := core.Run(cfg.instrument(o))
 			if err != nil {
 				restarts++
 			} else if r.Attempts > 1 {
 				restarts++
 			}
+			cfg.capture(r)
 			time += r.Time
 			exposure += float64(r.PropagationEvents)
 			errors += float64(len(r.Injections))
@@ -122,12 +123,12 @@ func VariantFigure(prof hetsim.Profile, cfg Config) *Figure {
 		},
 	}
 	for _, n := range cfg.sizes(prof) {
-		baseL := baseline(prof, n)
-		baseR := mustRun(core.Options{Profile: prof, N: n, Scheme: core.SchemeNone, Variant: core.RightLooking})
-		enhL := mustRun(enhanced(prof, n, 1))
+		baseL := baseline(cfg, prof, n)
+		baseR := cfg.run(core.Options{Profile: prof, N: n, Scheme: core.SchemeNone, Variant: core.RightLooking})
+		enhL := cfg.run(enhanced(prof, n, 1))
 		or := enhanced(prof, n, 1)
 		or.Variant = core.RightLooking
-		enhR := mustRun(or)
+		enhR := cfg.run(or)
 		f.Series[0].Points = append(f.Series[0].Points, Point{n, baseL.GFLOPS})
 		f.Series[1].Points = append(f.Series[1].Points, Point{n, baseR.GFLOPS})
 		f.Series[2].Points = append(f.Series[2].Points, Point{n, overheadPct(enhL, baseL)})
@@ -155,15 +156,15 @@ func ScrubFigure(prof hetsim.Profile, cfg Config) *Figure {
 		},
 	}
 	for _, n := range cfg.sizes(prof) {
-		base := baseline(prof, n)
+		base := baseline(cfg, prof, n)
 		enh := enhanced(prof, n, 1)
 		s1 := core.Options{Profile: prof, N: n, Scheme: core.SchemeOnlineScrub,
 			K: 1, ConcurrentRecalc: true, Placement: core.PlaceAuto}
 		s5 := s1
 		s5.K = 5
-		f.Series[0].Points = append(f.Series[0].Points, Point{n, overheadPct(mustRun(enh), base)})
-		f.Series[1].Points = append(f.Series[1].Points, Point{n, overheadPct(mustRun(s1), base)})
-		f.Series[2].Points = append(f.Series[2].Points, Point{n, overheadPct(mustRun(s5), base)})
+		f.Series[0].Points = append(f.Series[0].Points, Point{n, overheadPct(cfg.run(enh), base)})
+		f.Series[1].Points = append(f.Series[1].Points, Point{n, overheadPct(cfg.run(s1), base)})
+		f.Series[2].Points = append(f.Series[2].Points, Point{n, overheadPct(cfg.run(s5), base)})
 	}
 	return f
 }

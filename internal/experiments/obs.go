@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abftchol/internal/core"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/obs"
+)
+
+// Obs collects observability artifacts across every factorization an
+// experiment (or a whole `-exp all` sweep) runs: a shared metrics
+// registry accumulating counters over all runs, and — when
+// CaptureTrace is set — the timeline of the most recent run, which
+// for the standard sweeps is the largest, most interesting one.
+// Attach it via Config.Obs; cmd/abftchol builds one for the
+// -metrics-out / -trace-out flags.
+type Obs struct {
+	// Metrics receives every run's counters and histograms (nil: no
+	// metrics).
+	Metrics *obs.Registry
+	// CaptureTrace records each run's timeline; only the last run's
+	// trace is retained, so memory stays bounded by one run.
+	CaptureTrace bool
+	// LastTrace and LastTraceLabel identify the retained timeline.
+	LastTrace      *hetsim.Trace
+	LastTraceLabel string
+}
+
+// instrument copies the sink's wiring into one run's options.
+func (c Config) instrument(o core.Options) core.Options {
+	if c.Obs != nil {
+		if c.Obs.Metrics != nil {
+			o.Metrics = c.Obs.Metrics
+		}
+		if c.Obs.CaptureTrace {
+			o.Trace = true
+		}
+	}
+	return o
+}
+
+// capture retains a finished run's trace in the sink.
+func (c Config) capture(r core.Result) {
+	if c.Obs != nil && c.Obs.CaptureTrace && r.Trace != nil {
+		c.Obs.LastTrace = r.Trace
+		c.Obs.LastTraceLabel = fmt.Sprintf("%s n=%d K=%d %s", r.Scheme, r.N, r.K, r.Placement)
+	}
+}
+
+// run executes one factorization with the config's observability
+// wiring, panicking (like mustRun) if it exhausts its attempts.
+func (c Config) run(o core.Options) core.Result {
+	r := mustRun(c.instrument(o))
+	c.capture(r)
+	return r
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"abftchol/internal/hetsim"
+	"abftchol/internal/obs"
+	"abftchol/internal/overhead"
+)
+
+// TestFig8MetricsMatchOverheadModel runs the fig8 experiment with the
+// observability sink attached and checks the accumulated counters
+// against internal/overhead's closed-form predictions: the acceptance
+// test that `-exp fig8 -metrics-out` reports analytically correct
+// kernel and verification counts.
+func TestFig8MetricsMatchOverheadModel(t *testing.T) {
+	prof := hetsim.Tardis()
+	sizes := []int{5120, 7680}
+	sink := &Obs{Metrics: obs.NewRegistry(), CaptureTrace: true}
+	cfg := Config{Sizes: sizes, Obs: sink}
+	fig := Opt1Figure(prof, cfg)
+	if fig.ID != "fig8" {
+		t.Fatalf("unexpected figure id %q", fig.ID)
+	}
+
+	// Per sweep size fig8 runs one MAGMA baseline and two Enhanced
+	// K=1 runs (before/after Optimization 1).
+	reg := sink.Metrics
+	if got, want := reg.Counter("run.count"), int64(3*len(sizes)); got != want {
+		t.Errorf("run.count = %d, want %d", got, want)
+	}
+	if got, want := reg.Counter("scheme.runs.magma"), int64(len(sizes)); got != want {
+		t.Errorf("scheme.runs.magma = %d, want %d", got, want)
+	}
+	if got, want := reg.Counter("scheme.runs.enhanced"), int64(2*len(sizes)); got != want {
+		t.Errorf("scheme.runs.enhanced = %d, want %d", got, want)
+	}
+
+	var wantVerified, wantPotf2 int64
+	for _, n := range sizes {
+		p := overhead.Params{N: n, B: prof.BlockSize, K: 1}
+		wantVerified += 2 * int64(p.VerifiedBlocksEnhanced())
+		wantPotf2 += 3 * int64(n/prof.BlockSize)
+	}
+	if got := reg.Counter("verify.blocks"); got != wantVerified {
+		t.Errorf("verify.blocks = %d, overhead model predicts %d", got, wantVerified)
+	}
+	// One recalc kernel per verified block plus one encode per
+	// fault-tolerant run.
+	if got, want := reg.Counter("kernel.launches.chk_recalc"), wantVerified+int64(2*len(sizes)); got != want {
+		t.Errorf("kernel.launches.chk_recalc = %d, want %d", got, want)
+	}
+	if got := reg.Counter("kernel.launches.potf2"); got != wantPotf2 {
+		t.Errorf("kernel.launches.potf2 = %d, want %d", got, wantPotf2)
+	}
+
+	// The sink retains the last run's timeline, which exports as a
+	// loadable Chrome trace.
+	if sink.LastTrace == nil {
+		t.Fatal("sink retained no trace")
+	}
+	if !strings.Contains(sink.LastTraceLabel, "enhanced") {
+		t.Errorf("last trace label %q should describe the final enhanced run", sink.LastTraceLabel)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, sink.LastTrace, map[string]string{"experiment": fig.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("fig8 trace fails validation: %v", err)
+	}
+}
+
+// TestObsSinkOptional asserts the runners behave identically with no
+// sink attached (Config.Obs nil is the default for every other test).
+func TestObsSinkOptional(t *testing.T) {
+	prof := hetsim.Tardis()
+	cfg := Config{Sizes: []int{5120}}
+	plain := Opt1Figure(prof, cfg)
+	cfg.Obs = &Obs{Metrics: obs.NewRegistry()}
+	observed := Opt1Figure(prof, cfg)
+	if plain.CSV() != observed.CSV() {
+		t.Fatalf("observation changed the experiment's result:\n%s----\n%s", plain.CSV(), observed.CSV())
+	}
+}

@@ -15,6 +15,9 @@ type Config struct {
 	// CapabilityN overrides the capability tables' matrix size
 	// (default: 20480 on tardis, 30720 on bulldozer64, MaxN otherwise).
 	CapabilityN int
+	// Obs, when non-nil, collects metrics (and optionally the last
+	// run's timeline) across every factorization the runner performs.
+	Obs *Obs
 }
 
 func (c Config) sizes(prof hetsim.Profile) []int {
@@ -48,8 +51,8 @@ func mustRun(o core.Options) core.Result {
 }
 
 // baseline runs plain MAGMA at size n.
-func baseline(prof hetsim.Profile, n int) core.Result {
-	return mustRun(core.Options{Profile: prof, N: n, Scheme: core.SchemeNone})
+func baseline(cfg Config, prof hetsim.Profile, n int) core.Result {
+	return cfg.run(core.Options{Profile: prof, N: n, Scheme: core.SchemeNone})
 }
 
 // overheadPct is the relative overhead of res against base, percent.
@@ -93,7 +96,7 @@ func CapabilityTable(prof hetsim.Profile, cfg Config) *Table {
 				ConcurrentRecalc: true, Placement: core.PlaceAuto,
 				Scenarios: scs,
 			}
-			r := mustRun(o)
+			r := cfg.run(o)
 			row = append(row, fmt.Sprintf("%.4fs", r.Time))
 		}
 		t.Rows = append(t.Rows, row)
@@ -116,12 +119,12 @@ func Opt1Figure(prof hetsim.Profile, cfg Config) *Figure {
 		Series: []Series{{Label: "before opt1"}, {Label: "after opt1"}},
 	}
 	for _, n := range cfg.sizes(prof) {
-		base := baseline(prof, n)
+		base := baseline(cfg, prof, n)
 		before := enhanced(prof, n, 1)
 		before.ConcurrentRecalc = false
 		after := enhanced(prof, n, 1)
-		f.Series[0].Points = append(f.Series[0].Points, Point{n, overheadPct(mustRun(before), base)})
-		f.Series[1].Points = append(f.Series[1].Points, Point{n, overheadPct(mustRun(after), base)})
+		f.Series[0].Points = append(f.Series[0].Points, Point{n, overheadPct(cfg.run(before), base)})
+		f.Series[1].Points = append(f.Series[1].Points, Point{n, overheadPct(cfg.run(after), base)})
 	}
 	return f
 }
@@ -142,12 +145,12 @@ func Opt2Figure(prof hetsim.Profile, cfg Config) *Figure {
 		Series: []Series{{Label: "before opt2 (inline)"}, {Label: "after opt2 (" + placed.String() + ")"}},
 	}
 	for _, n := range cfg.sizes(prof) {
-		base := baseline(prof, n)
+		base := baseline(cfg, prof, n)
 		before := enhanced(prof, n, 1)
 		before.Placement = core.PlaceInline
 		after := enhanced(prof, n, 1)
-		f.Series[0].Points = append(f.Series[0].Points, Point{n, overheadPct(mustRun(before), base)})
-		f.Series[1].Points = append(f.Series[1].Points, Point{n, overheadPct(mustRun(after), base)})
+		f.Series[0].Points = append(f.Series[0].Points, Point{n, overheadPct(cfg.run(before), base)})
+		f.Series[1].Points = append(f.Series[1].Points, Point{n, overheadPct(cfg.run(after), base)})
 	}
 	return f
 }
@@ -167,9 +170,9 @@ func Opt3Figure(prof hetsim.Profile, cfg Config) *Figure {
 	}
 	ks := []int{1, 3, 5}
 	for _, n := range cfg.sizes(prof) {
-		base := baseline(prof, n)
+		base := baseline(cfg, prof, n)
 		for si, k := range ks {
-			f.Series[si].Points = append(f.Series[si].Points, Point{n, overheadPct(mustRun(enhanced(prof, n, k)), base)})
+			f.Series[si].Points = append(f.Series[si].Points, Point{n, overheadPct(cfg.run(enhanced(prof, n, k)), base)})
 		}
 	}
 	return f
@@ -189,13 +192,13 @@ func OverheadFigure(prof hetsim.Profile, cfg Config) *Figure {
 		Series: []Series{{Label: "offline-abft"}, {Label: "online-abft"}, {Label: "enhanced-online-abft"}},
 	}
 	for _, n := range cfg.sizes(prof) {
-		base := baseline(prof, n)
+		base := baseline(cfg, prof, n)
 		for si, sch := range []core.Scheme{core.SchemeOffline, core.SchemeOnline, core.SchemeEnhanced} {
 			o := core.Options{
 				Profile: prof, N: n, Scheme: sch, K: 1,
 				ConcurrentRecalc: true, Placement: core.PlaceAuto,
 			}
-			f.Series[si].Points = append(f.Series[si].Points, Point{n, overheadPct(mustRun(o), base)})
+			f.Series[si].Points = append(f.Series[si].Points, Point{n, overheadPct(cfg.run(o), base)})
 		}
 	}
 	return f
@@ -224,7 +227,7 @@ func PerformanceFigure(prof hetsim.Profile, cfg Config) *Figure {
 				Profile: prof, N: n, Scheme: sch, K: 1,
 				ConcurrentRecalc: true, Placement: core.PlaceAuto,
 			}
-			f.Series[si].Points = append(f.Series[si].Points, Point{n, mustRun(o).GFLOPS})
+			f.Series[si].Points = append(f.Series[si].Points, Point{n, cfg.run(o).GFLOPS})
 		}
 	}
 	return f

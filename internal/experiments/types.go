@@ -8,6 +8,11 @@
 // the paper's tables only approximately; what the runners are expected
 // to reproduce is the paper's shape — who wins, by what factor, and
 // how the curves move with n, K, and the optimizations.
+//
+// Config.Obs optionally instruments every run a runner performs with
+// a shared internal/obs metrics registry and retains the last run's
+// timeline, which is how `cmd/abftchol -exp ... -trace-out
+// -metrics-out` exports a sweep's evidence.
 package experiments
 
 import (

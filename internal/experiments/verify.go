@@ -159,7 +159,7 @@ func capabilityRatios(prof hetsim.Profile, cfg Config) capRatios {
 			ConcurrentRecalc: true, Placement: core.PlaceAuto,
 			Scenarios: scen,
 		}
-		return mustRun(o).Time
+		return cfg.run(o).Time
 	}
 	nb := cfg.CapabilityN / prof.BlockSize
 	comp := fault.DefaultComputation(nb / 3)

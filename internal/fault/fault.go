@@ -17,6 +17,11 @@
 // propagation so the model plane knows when an error has polluted too
 // many elements for checksum correction, exactly the failure mode that
 // forces Offline- and Online-ABFT to redo the factorization.
+//
+// Injection outcomes surface in the observability layer: runs with
+// Options.Metrics set account every injected, corrected, and
+// restart-forcing fault under the fault.* and run.* metrics of the
+// internal/obs catalog.
 package fault
 
 import "fmt"

@@ -42,9 +42,12 @@ type Device struct {
 	dispatchT  float64   // host dispatch serializer
 	nextStream int
 
-	stats    Stats
-	trace    *Trace
-	resource string
+	stats     Stats
+	trace     *Trace
+	obs       Observer
+	resource  string
+	slotWaits int     // launches delayed by slot occupancy
+	slotWait  float64 // summed slot-queueing delay
 }
 
 // NewDevice creates a device with all slots free at t=0.
@@ -138,6 +141,9 @@ func (d *Device) Launch(s *Stream, k Kernel) float64 {
 	start := d.slots[units-1]
 	if ready > start {
 		start = ready
+	} else if d.slots[units-1] > ready {
+		d.slotWaits++
+		d.slotWait += d.slots[units-1] - ready
 	}
 	dur := d.Duration(k) + d.Spec.LaunchOverhead
 	end := start + dur
@@ -147,12 +153,19 @@ func (d *Device) Launch(s *Stream, k Kernel) float64 {
 	s.t = end
 
 	d.stats.add(k.Class, dur)
-	if d.trace != nil {
+	if d.trace != nil || d.obs != nil {
 		res := d.resource
 		if res == "" {
 			res = "dev"
 		}
-		d.trace.add(Span{Name: k.Name, Class: k.Class, Resource: res, Stream: s.id, Start: start, End: end})
+		sp := Span{Name: k.Name, Class: k.Class, Resource: res, Stream: s.id,
+			Start: start, End: end, Slots: units, Flops: k.Flops, Bytes: k.Bytes}
+		if d.trace != nil {
+			d.trace.add(sp)
+		}
+		if d.obs != nil {
+			d.obs.KernelLaunched(sp)
+		}
 	}
 	return end
 }

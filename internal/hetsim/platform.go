@@ -22,6 +22,7 @@ type Link struct {
 	bytes     float64
 	busy      float64
 	trace     *Trace
+	obs       Observer
 }
 
 // Direction selects a transfer direction.
@@ -57,12 +58,18 @@ func (l *Link) Transfer(s *Stream, dir Direction, bytes float64) float64 {
 	l.transfers++
 	l.bytes += bytes
 	l.busy += dur
-	if l.trace != nil {
+	if l.trace != nil || l.obs != nil {
 		res := "h2d"
 		if dir == DeviceToHost {
 			res = "d2h"
 		}
-		l.trace.add(Span{Name: "xfer", Class: Class(-1), Resource: res, Stream: s.id, Start: start, End: end})
+		sp := Span{Name: "xfer", Class: Class(-1), Resource: res, Stream: s.id, Start: start, End: end, Bytes: bytes}
+		if l.trace != nil {
+			l.trace.add(sp)
+		}
+		if l.obs != nil {
+			l.obs.TransferDone(sp, dir)
+		}
 	}
 	return end
 }

@@ -10,8 +10,12 @@ import (
 // timeline so schedules can be inspected and asserted on: which
 // operations overlapped, how busy each device was, where the critical
 // path went. Attach one with Platform.StartTrace before issuing work.
+// Marks carry point-in-time annotations (iteration boundaries,
+// restarts) that the exporter in internal/obs renders as instant
+// events.
 type Trace struct {
 	Spans []Span
+	Marks []Mark
 }
 
 // Span is one occupied interval on a resource.
@@ -22,6 +26,30 @@ type Span struct {
 	Stream   int
 	Start    float64
 	End      float64
+	// Slots is how many concurrent-kernel slots the kernel occupied
+	// (0 for transfers), the realized occupancy of Optimization 1's
+	// slot pool.
+	Slots int
+	// Flops and Bytes echo the launched kernel's cost (Bytes is the
+	// transfer size for link spans), so an exported timeline carries
+	// the same accounting the cost model used.
+	Flops float64
+	Bytes float64
+}
+
+// Mark is an instant annotation on the simulated timeline: an
+// iteration boundary, a recovery restart, a phase edge.
+type Mark struct {
+	Name string
+	T    float64
+}
+
+// Mark records an instant annotation at simulated time t.
+func (t *Trace) Mark(name string, at float64) {
+	if t == nil {
+		return
+	}
+	t.Marks = append(t.Marks, Mark{Name: name, T: at})
 }
 
 // Duration returns the span length.

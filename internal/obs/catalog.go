@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"abftchol/internal/hetsim"
+)
+
+// Kind is a metric's type.
+type Kind int
+
+const (
+	// Counter is a monotonically increasing integer count.
+	Counter Kind = iota
+	// Value is a float accumulator (bytes, seconds) — also monotonic,
+	// but fractional.
+	Value
+	// HistogramKind is a log₂-bucketed distribution with count and sum.
+	HistogramKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Counter:
+		return "counter"
+	case Value:
+		return "value"
+	case HistogramKind:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MetricDef declares one metric of the closed catalog: its registry
+// name, type, unit (empty for dimensionless counts), and meaning.
+type MetricDef struct {
+	Name string
+	Kind Kind
+	Unit string
+	Help string
+}
+
+// ClassKeys maps every hetsim kernel class to the lowercase key used
+// in per-class metric names, in class order.
+var ClassKeys = []struct {
+	Class hetsim.Class
+	Key   string
+}{
+	{hetsim.ClassGEMM, "gemm"},
+	{hetsim.ClassSYRK, "syrk"},
+	{hetsim.ClassTRSM, "trsm"},
+	{hetsim.ClassPOTF2, "potf2"},
+	{hetsim.ClassChkRecalc, "chk_recalc"},
+	{hetsim.ClassChkUpdate, "chk_update"},
+	{hetsim.ClassChkCompare, "chk_compare"},
+	{hetsim.ClassHost, "host"},
+}
+
+// ClassKey returns the metric-name key for a kernel class ("xfer" for
+// the pseudo-class link transfers carry).
+func ClassKey(c hetsim.Class) string {
+	for _, ck := range ClassKeys {
+		if ck.Class == c {
+			return ck.Key
+		}
+	}
+	return "xfer"
+}
+
+// SchemeKeys are the metric-name keys of the fault-tolerance schemes,
+// in core.Scheme order. internal/core owns the Scheme→key mapping and
+// asserts it stays in step with this list.
+var SchemeKeys = []string{"magma", "cula", "offline", "online", "enhanced", "scrub"}
+
+// Catalog is the closed set of metrics a Registry holds. Every name a
+// run can emit is declared here; docs/OBSERVABILITY.md renders this
+// table and a test fails when the two drift.
+var Catalog = buildCatalog()
+
+func buildCatalog() []MetricDef {
+	var c []MetricDef
+	add := func(name string, kind Kind, unit, help string) {
+		c = append(c, MetricDef{Name: name, Kind: kind, Unit: unit, Help: help})
+	}
+	for _, ck := range ClassKeys {
+		add("kernel.launches."+ck.Key, Counter, "",
+			fmt.Sprintf("kernel launches of class %s across both devices (all attempts)", ck.Class))
+	}
+	for _, ck := range ClassKeys {
+		add("kernel.duration_us."+ck.Key, HistogramKind, "µs",
+			fmt.Sprintf("modeled per-launch duration of class %s kernels, launch overhead included", ck.Class))
+	}
+	add("xfer.count.h2d", Counter, "", "host→device link transfers")
+	add("xfer.count.d2h", Counter, "", "device→host link transfers")
+	add("xfer.bytes.h2d", Value, "bytes", "total bytes moved host→device")
+	add("xfer.bytes.d2h", Value, "bytes", "total bytes moved device→host")
+	add("xfer.bytes", HistogramKind, "bytes", "per-transfer size distribution, both directions")
+	add("device.busy_seconds.gpu", Value, "s", "summed standalone GPU kernel durations (overlap not subtracted)")
+	add("device.busy_seconds.cpu", Value, "s", "summed standalone CPU kernel durations (overlap not subtracted)")
+	add("slot.waits.gpu", Counter, "", "GPU launches delayed because all required concurrent-kernel slots were busy")
+	add("slot.waits.cpu", Counter, "", "CPU launches delayed because all required concurrent-kernel slots were busy")
+	add("slot.wait_seconds.gpu", Value, "s", "summed GPU slot-queueing delay (Optimization 1's contention)")
+	add("slot.wait_seconds.cpu", Value, "s", "summed CPU slot-queueing delay")
+	add("verify.blocks", Counter, "", "block checksum verifications (recalculate + compare), all attempts")
+	add("verify.batches", Counter, "", "verification batches — each pays one host round-trip (VerifyBatchSync)")
+	add("verify.batch_blocks", HistogramKind, "", "blocks per verification batch (Optimization 1's fan-out width)")
+	add("fault.injected", Counter, "", "soft errors the injector fired (computation + storage)")
+	add("fault.corrected", Counter, "", "elements repaired in place by checksum correction")
+	add("fault.propagations", Counter, "", "reads of corrupted blocks by update kernels before repair")
+	add("run.count", Counter, "", "factorization runs finalized into this registry")
+	add("run.attempts", Counter, "", "factorization attempts, including the first try of each run")
+	add("run.restarts", Counter, "", "whole-factorization restarts after unrecoverable corruption")
+	add("run.failstops", Counter, "", "POTF2 positive-definiteness failures (fail-stop errors)")
+	add("time.sim_seconds", Value, "s", "summed simulated wall-clock of finalized runs")
+	for _, s := range SchemeKeys {
+		add("scheme.runs."+s, Counter, "", fmt.Sprintf("finalized runs under the %s scheme", s))
+	}
+	for _, s := range SchemeKeys {
+		add("scheme.seconds."+s, Value, "s",
+			fmt.Sprintf("summed simulated time under the %s scheme — diff against scheme.seconds.magma for the overhead breakdown", s))
+	}
+	return c
+}
+
+// Markers bracketing the generated catalog table in
+// docs/OBSERVABILITY.md, mirroring docs/LINTING.md's analyzer table.
+const (
+	TableBegin = "<!-- BEGIN GENERATED METRICS CATALOG (go generate ./internal/obs) -->"
+	TableEnd   = "<!-- END GENERATED METRICS CATALOG -->"
+)
+
+// CatalogTable renders the catalog as the markdown table embedded in
+// docs/OBSERVABILITY.md.
+func CatalogTable() string {
+	var b strings.Builder
+	b.WriteString("| metric | type | unit | meaning |\n")
+	b.WriteString("|--------|------|------|---------|\n")
+	for _, m := range Catalog {
+		unit := m.Unit
+		if unit == "" {
+			unit = "–"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n", m.Name, m.Kind, unit, m.Help)
+	}
+	return b.String()
+}

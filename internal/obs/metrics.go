@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Registry holds one deterministic set of metrics, pre-registered
+// from Catalog. It is strict: touching a name the catalog does not
+// declare panics, so a typo fails the first test that exercises the
+// path instead of silently dropping data. A Registry is not
+// goroutine-safe; runs are single-threaded in issue order, which is
+// also what makes snapshots reproducible.
+type Registry struct {
+	counters map[string]int64
+	values   map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds a registry with every catalog metric at zero.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters: make(map[string]int64),
+		values:   make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+	}
+	for _, m := range Catalog {
+		switch m.Kind {
+		case Counter:
+			r.counters[m.Name] = 0
+		case Value:
+			r.values[m.Name] = 0
+		case HistogramKind:
+			r.hists[m.Name] = &Histogram{}
+		}
+	}
+	return r
+}
+
+func (r *Registry) unknown(kind Kind, name string) string {
+	return fmt.Sprintf("obs: %s %q is not in the catalog; declare it in internal/obs/catalog.go", kind, name)
+}
+
+// Inc adds one to a counter.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Add adds d to a counter.
+func (r *Registry) Add(name string, d int64) {
+	if _, ok := r.counters[name]; !ok {
+		panic(r.unknown(Counter, name))
+	}
+	r.counters[name] += d
+}
+
+// AddValue adds v to a float accumulator.
+func (r *Registry) AddValue(name string, v float64) {
+	if _, ok := r.values[name]; !ok {
+		panic(r.unknown(Value, name))
+	}
+	r.values[name] += v
+}
+
+// Observe records v into a histogram.
+func (r *Registry) Observe(name string, v float64) {
+	h, ok := r.hists[name]
+	if !ok {
+		panic(r.unknown(HistogramKind, name))
+	}
+	h.observe(v)
+}
+
+// Counter reads a counter's current value (tests and assertions).
+func (r *Registry) Counter(name string) int64 {
+	v, ok := r.counters[name]
+	if !ok {
+		panic(r.unknown(Counter, name))
+	}
+	return v
+}
+
+// Value reads a float accumulator's current value.
+func (r *Registry) Value(name string) float64 {
+	v, ok := r.values[name]
+	if !ok {
+		panic(r.unknown(Value, name))
+	}
+	return v
+}
+
+// HistogramCount reads a histogram's observation count.
+func (r *Registry) HistogramCount(name string) int64 {
+	h, ok := r.hists[name]
+	if !ok {
+		panic(r.unknown(HistogramKind, name))
+	}
+	return h.Count
+}
+
+// Histogram is a log₂-bucketed distribution: bucket i counts
+// observations v with v <= 2^i (i in 0..maxBucket); smaller and
+// larger observations land in the underflow/overflow counts. Powers
+// of two up to 2^40 span sub-microsecond kernels to multi-gigabyte
+// transfers with ~3 dB resolution, and integer bucket math keeps the
+// snapshot exact.
+type Histogram struct {
+	Count     int64
+	Sum       float64
+	Underflow int64 // v <= 0
+	Overflow  int64 // v > 2^maxBucket
+	buckets   [maxBucket + 1]int64
+}
+
+const maxBucket = 40
+
+func (h *Histogram) observe(v float64) {
+	h.Count++
+	h.Sum += v
+	if v <= 0 {
+		h.Underflow++
+		return
+	}
+	le := float64(1) // 2^0
+	for i := 0; i <= maxBucket; i++ {
+		if v <= le {
+			h.buckets[i]++
+			return
+		}
+		le *= 2
+	}
+	h.Overflow++
+}
+
+// bucketSnapshot is one non-empty histogram bucket in a snapshot.
+type bucketSnapshot struct {
+	LE float64 `json:"le"` // upper bound, inclusive
+	N  int64   `json:"n"`
+}
+
+// histSnapshot is a histogram's serialized form; only non-empty
+// buckets appear.
+type histSnapshot struct {
+	Count     int64            `json:"count"`
+	Sum       float64          `json:"sum"`
+	Underflow int64            `json:"underflow,omitempty"`
+	Overflow  int64            `json:"overflow,omitempty"`
+	Buckets   []bucketSnapshot `json:"buckets,omitempty"`
+}
+
+// snapshot is the full registry serialization. encoding/json emits
+// map keys sorted, so the byte output is a pure function of the
+// metric values.
+type snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Values     map[string]float64      `json:"values"`
+	Histograms map[string]histSnapshot `json:"histograms"`
+}
+
+// Snapshot serializes every metric — zeros included, so two snapshots
+// of the same catalog always have the same shape — as indented JSON.
+// Identical runs produce byte-identical snapshots.
+func (r *Registry) Snapshot() ([]byte, error) {
+	s := snapshot{
+		Counters:   r.counters,
+		Values:     r.values,
+		Histograms: make(map[string]histSnapshot, len(r.hists)),
+	}
+	for name, h := range r.hists {
+		hs := histSnapshot{Count: h.Count, Sum: h.Sum, Underflow: h.Underflow, Overflow: h.Overflow}
+		le := float64(1)
+		for i := 0; i <= maxBucket; i++ {
+			if h.buckets[i] > 0 {
+				hs.Buckets = append(hs.Buckets, bucketSnapshot{LE: le, N: h.buckets[i]})
+			}
+			le *= 2
+		}
+		s.Histograms[name] = hs
+	}
+	b, err := json.MarshalIndent(&s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Names returns every registered metric name, sorted — the live
+// registry's view for the catalog drift test.
+func (r *Registry) Names() []string {
+	var out []string
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.values {
+		out = append(out, n)
+	}
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryRejectsUnknownNames(t *testing.T) {
+	r := NewRegistry()
+	for _, fn := range []struct {
+		label string
+		call  func()
+	}{
+		{"Inc", func() { r.Inc("no.such.counter") }},
+		{"AddValue", func() { r.AddValue("no.such.value", 1) }},
+		{"Observe", func() { r.Observe("no.such.histogram", 1) }},
+		// Right name, wrong kind: a histogram is not a counter.
+		{"Inc on histogram", func() { r.Inc("verify.batch_blocks") }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on unregistered metric", fn.label)
+				}
+			}()
+			fn.call()
+		}()
+	}
+}
+
+func TestRegistryCoversCatalog(t *testing.T) {
+	r := NewRegistry()
+	if got, want := len(r.Names()), len(Catalog); got != want {
+		t.Fatalf("registry has %d names, catalog %d", got, want)
+	}
+	// Every catalog entry accepts a write of its kind without panic.
+	for _, def := range Catalog {
+		switch def.Kind {
+		case Counter:
+			r.Inc(def.Name)
+		case Value:
+			r.AddValue(def.Name, 1.5)
+		case HistogramKind:
+			r.Observe(def.Name, 3)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	fill := func(r *Registry) {
+		r.Add("kernel.launches.gemm", 7)
+		r.Inc("run.count")
+		r.AddValue("time.sim_seconds", 1.25)
+		r.AddValue("device.busy_seconds.gpu", 0.5)
+		for _, v := range []float64{0, 1, 3, 1024, 1e13} {
+			r.Observe("xfer.bytes", v)
+		}
+	}
+	a, b := NewRegistry(), NewRegistry()
+	fill(a)
+	fill(b)
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("identical registries produced different snapshots:\n%s\n----\n%s", sa, sb)
+	}
+	if !bytes.HasSuffix(sa, []byte("\n")) {
+		t.Error("snapshot should end with a newline")
+	}
+	var parsed struct {
+		Counters   map[string]int64   `json:"counters"`
+		Values     map[string]float64 `json:"values"`
+		Histograms map[string]struct {
+			Count    int64 `json:"count"`
+			Overflow int64 `json:"overflow"`
+			Buckets  []struct {
+				Le float64 `json:"le"`
+				N  int64   `json:"n"`
+			} `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(sa, &parsed); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if parsed.Counters["kernel.launches.gemm"] != 7 {
+		t.Errorf("kernel.launches.gemm = %d, want 7", parsed.Counters["kernel.launches.gemm"])
+	}
+	h := parsed.Histograms["xfer.bytes"]
+	if h.Count != 5 {
+		t.Errorf("xfer.bytes count = %d, want 5", h.Count)
+	}
+	if h.Overflow != 1 {
+		t.Errorf("xfer.bytes overflow = %d, want 1 (1e13 > 2^40)", h.Overflow)
+	}
+}
+
+func TestHistogramCount(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 9; i++ {
+		r.Observe("verify.batch_blocks", float64(i))
+	}
+	if got := r.HistogramCount("verify.batch_blocks"); got != 9 {
+		t.Fatalf("HistogramCount = %d, want 9", got)
+	}
+}
+
+func TestCatalogTableListsEveryMetric(t *testing.T) {
+	table := CatalogTable()
+	for _, def := range Catalog {
+		if !strings.Contains(table, "`"+def.Name+"`") {
+			t.Errorf("catalog table is missing %s", def.Name)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import "abftchol/internal/hetsim"
+
+// PlatformObserver adapts a Registry to hetsim.Observer: every kernel
+// launch and link transfer the simulator places on the timeline
+// increments the per-class launch counters, duration histograms, and
+// transfer accounting. Attach with Platform.Observe (internal/core
+// does this automatically when Options.Metrics is set).
+//
+// Metric names are precomputed per class so the per-launch path does
+// not allocate.
+type PlatformObserver struct {
+	reg       *Registry
+	launches  map[hetsim.Class]string
+	durations map[hetsim.Class]string
+}
+
+// NewPlatformObserver builds the adapter for reg.
+func NewPlatformObserver(reg *Registry) *PlatformObserver {
+	o := &PlatformObserver{
+		reg:       reg,
+		launches:  make(map[hetsim.Class]string, len(ClassKeys)),
+		durations: make(map[hetsim.Class]string, len(ClassKeys)),
+	}
+	for _, ck := range ClassKeys {
+		o.launches[ck.Class] = "kernel.launches." + ck.Key
+		o.durations[ck.Class] = "kernel.duration_us." + ck.Key
+	}
+	return o
+}
+
+// KernelLaunched implements hetsim.Observer.
+func (o *PlatformObserver) KernelLaunched(sp hetsim.Span) {
+	if name, ok := o.launches[sp.Class]; ok {
+		o.reg.Inc(name)
+		o.reg.Observe(o.durations[sp.Class], (sp.End-sp.Start)*1e6)
+	}
+	switch sp.Resource {
+	case "gpu":
+		o.reg.AddValue("device.busy_seconds.gpu", sp.End-sp.Start)
+	case "cpu":
+		o.reg.AddValue("device.busy_seconds.cpu", sp.End-sp.Start)
+	}
+}
+
+// TransferDone implements hetsim.Observer.
+func (o *PlatformObserver) TransferDone(sp hetsim.Span, dir hetsim.Direction) {
+	if dir == hetsim.HostToDevice {
+		o.reg.Inc("xfer.count.h2d")
+		o.reg.AddValue("xfer.bytes.h2d", sp.Bytes)
+	} else {
+		o.reg.Inc("xfer.count.d2h")
+		o.reg.AddValue("xfer.bytes.d2h", sp.Bytes)
+	}
+	o.reg.Observe("xfer.bytes", sp.Bytes)
+}

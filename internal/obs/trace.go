@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"abftchol/internal/hetsim"
+)
+
+// The Chrome trace-event format, as consumed by Perfetto and
+// chrome://tracing: a JSON object with a "traceEvents" array whose
+// entries carry a phase ("X" complete span, "i" instant, "M"
+// metadata), microsecond timestamps, and process/thread ids. We map
+// each simulated resource (gpu, cpu, h2d, d2h) to a process and each
+// stream to a thread, so the viewer's track layout reproduces the
+// platform's queue structure.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// resourcePID fixes the resource → process mapping; pid 0 is the
+// run-level pseudo-process that carries instant marks.
+var resourcePID = map[string]int{"gpu": 1, "cpu": 2, "h2d": 3, "d2h": 4}
+
+const markPID = 0
+
+func pidOf(resource string) int {
+	if pid, ok := resourcePID[resource]; ok {
+		return pid
+	}
+	return 5 // unnamed device in a hand-built platform
+}
+
+// WriteChromeTrace serializes tr as Chrome trace-event JSON. meta
+// (scheme, matrix size, machine, ...) lands in the file's otherData
+// section, visible in Perfetto's trace-info view; nil is fine. Spans
+// become complete "X" events sorted by start time, trace marks become
+// instant "i" events on the run track, and metadata "M" events name
+// every process and thread.
+func WriteChromeTrace(w io.Writer, tr *hetsim.Trace, meta map[string]string) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", OtherData: meta}
+
+	// Metadata: name processes and threads, deterministically ordered.
+	procNames := map[int]string{markPID: "run"}
+	type thread struct{ pid, tid int }
+	threads := map[thread]bool{}
+	for _, sp := range tr.Spans {
+		pid := pidOf(sp.Resource)
+		if _, ok := procNames[pid]; !ok {
+			procNames[pid] = sp.Resource
+		}
+		threads[thread{pid, sp.Stream}] = true
+	}
+	var pids []int
+	for pid := range procNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": procNames[pid]},
+		})
+	}
+	var ths []thread
+	for th := range threads {
+		ths = append(ths, th)
+	}
+	sort.Slice(ths, func(i, j int) bool {
+		if ths[i].pid != ths[j].pid {
+			return ths[i].pid < ths[j].pid
+		}
+		return ths[i].tid < ths[j].tid
+	})
+	for _, th := range ths {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: th.pid, Tid: th.tid,
+			Args: map[string]any{"name": fmt.Sprintf("stream %02d", th.tid)},
+		})
+	}
+
+	// Timeline events: spans and marks, merged and stable-sorted by
+	// timestamp (stable keeps issue order for simultaneous events, so
+	// the output is deterministic without comparing floats for
+	// equality).
+	var evs []chromeEvent
+	for _, sp := range tr.Spans {
+		dur := (sp.End - sp.Start) * 1e6
+		args := map[string]any{"class": ClassKey(sp.Class)}
+		if sp.Slots > 0 {
+			args["slots"] = sp.Slots
+		}
+		if sp.Flops > 0 {
+			args["flops"] = sp.Flops
+		}
+		if sp.Bytes > 0 {
+			args["bytes"] = sp.Bytes
+		}
+		evs = append(evs, chromeEvent{
+			Name: sp.Name, Cat: ClassKey(sp.Class), Ph: "X",
+			Ts: sp.Start * 1e6, Dur: &dur,
+			Pid: pidOf(sp.Resource), Tid: sp.Stream, Args: args,
+		})
+	}
+	for _, m := range tr.Marks {
+		evs = append(evs, chromeEvent{
+			Name: m.Name, Ph: "i", Ts: m.T * 1e6, Pid: markPID, S: "g",
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	out.TraceEvents = append(out.TraceEvents, evs...)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&out)
+}
+
+// WriteJSONL serializes tr in the compact form: one JSON object per
+// line, spans in issue order followed by marks, with times in
+// seconds. Made for jq/awk pipelines rather than trace viewers.
+func WriteJSONL(w io.Writer, tr *hetsim.Trace) error {
+	enc := json.NewEncoder(w)
+	type spanLine struct {
+		Name     string  `json:"name"`
+		Class    string  `json:"class"`
+		Resource string  `json:"resource"`
+		Stream   int     `json:"stream"`
+		Start    float64 `json:"start_s"`
+		End      float64 `json:"end_s"`
+		Slots    int     `json:"slots,omitempty"`
+		Flops    float64 `json:"flops,omitempty"`
+		Bytes    float64 `json:"bytes,omitempty"`
+	}
+	for _, sp := range tr.Spans {
+		if err := enc.Encode(spanLine{
+			Name: sp.Name, Class: ClassKey(sp.Class), Resource: sp.Resource,
+			Stream: sp.Stream, Start: sp.Start, End: sp.End,
+			Slots: sp.Slots, Flops: sp.Flops, Bytes: sp.Bytes,
+		}); err != nil {
+			return err
+		}
+	}
+	type markLine struct {
+		Mark string  `json:"mark"`
+		T    float64 `json:"t_s"`
+	}
+	for _, m := range tr.Marks {
+		if err := enc.Encode(markLine{Mark: m.Name, T: m.T}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateChromeTrace parses data as Chrome trace-event JSON and
+// checks the invariants a viewer relies on: every event has a known
+// phase, complete ("X") events have a non-negative duration,
+// timestamps are non-negative and non-decreasing within the timeline
+// section, and any duration-begin "B" event is matched by an "E" on
+// the same process/thread. It returns the number of timeline (non
+// metadata) events.
+func ValidateChromeTrace(data []byte) (events int, err error) {
+	var tr struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return 0, fmt.Errorf("obs: not valid trace-event JSON: %w", err)
+	}
+	type track struct{ pid, tid int }
+	open := map[track]int{}
+	lastTs := 0.0
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return 0, fmt.Errorf("obs: event %d (%q): X event needs dur >= 0", i, ev.Name)
+			}
+		case "B":
+			open[track{ev.Pid, ev.Tid}]++
+		case "E":
+			t := track{ev.Pid, ev.Tid}
+			if open[t] == 0 {
+				return 0, fmt.Errorf("obs: event %d (%q): E without matching B on pid=%d tid=%d", i, ev.Name, ev.Pid, ev.Tid)
+			}
+			open[t]--
+		case "i", "I":
+			// instant, nothing to pair
+		default:
+			return 0, fmt.Errorf("obs: event %d (%q): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 {
+			return 0, fmt.Errorf("obs: event %d (%q): negative timestamp %g", i, ev.Name, ev.Ts)
+		}
+		if ev.Ts < lastTs {
+			return 0, fmt.Errorf("obs: event %d (%q): timestamp %g before predecessor %g; timeline not monotonic", i, ev.Name, ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+		events++
+	}
+	for t, n := range open {
+		if n != 0 {
+			return 0, fmt.Errorf("obs: %d unclosed B event(s) on pid=%d tid=%d", n, t.pid, t.tid)
+		}
+	}
+	if events == 0 {
+		return 0, fmt.Errorf("obs: trace has no timeline events")
+	}
+	return events, nil
+}
+
+// TraceFormatForPath picks the export format from a file name:
+// ".jsonl" selects the compact line form, anything else the Chrome
+// trace-event JSON.
+func TraceFormatForPath(path string) string {
+	if strings.HasSuffix(path, ".jsonl") {
+		return "jsonl"
+	}
+	return "chrome"
+}

@@ -1,11 +1,13 @@
 // Package detsim flags non-deterministic inputs — wall-clock reads and
 // unseeded randomness — inside the packages where bit-reproducibility
 // is load-bearing: the heterogeneous-platform simulator
-// (internal/hetsim), the ABFT executor (internal/core), and the fault
-// injector (internal/fault). Trace replay, fault campaigns, and the
-// real-vs-model plane agreement tests all assume that the same seed
-// reproduces the same run bit for bit; one time.Now or global
-// math/rand call silently breaks every one of those guarantees. The
+// (internal/hetsim), the ABFT executor (internal/core), the fault
+// injector (internal/fault), and the observability layer
+// (internal/obs). Trace replay, fault campaigns, byte-identical
+// metrics snapshots, and the real-vs-model plane agreement tests all
+// assume that the same seed reproduces the same run bit for bit; one
+// time.Now or global math/rand call silently breaks every one of
+// those guarantees. The
 // only sanctioned randomness is a seeded *rand.Rand threaded through
 // explicitly, and the only sanctioned clock is the simulator's own.
 package detsim
@@ -42,11 +44,12 @@ var seededConstructors = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name:  "detsim",
 	Doc:   Doc,
-	Scope: "internal/hetsim, internal/core, internal/fault",
+	Scope: "internal/hetsim, internal/core, internal/fault, internal/obs",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/hetsim",
 		"abftchol/internal/core",
 		"abftchol/internal/fault",
+		"abftchol/internal/obs",
 	),
 	Run: run,
 }

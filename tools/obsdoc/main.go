@@ -1,0 +1,44 @@
+// Command obsdoc rewrites the generated metrics-catalog table in
+// docs/OBSERVABILITY.md from the live catalog (internal/obs.Catalog).
+// It is wired to `go generate ./internal/obs`; the obs package's
+// catalog drift test asserts the embedding, so a stale table fails
+// `go test` rather than rotting silently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abftchol/internal/obs"
+)
+
+func main() {
+	out := flag.String("out", "../../docs/OBSERVABILITY.md", "markdown file whose generated table to rewrite (path is relative to internal/obs, where go generate runs)")
+	flag.Parse()
+	if err := rewrite(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "obsdoc:", err)
+		os.Exit(1)
+	}
+}
+
+func rewrite(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	src := string(data)
+	begin := strings.Index(src, obs.TableBegin)
+	end := strings.Index(src, obs.TableEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return fmt.Errorf("%s: marker comments %q ... %q not found; the generated table needs a home", path, obs.TableBegin, obs.TableEnd)
+	}
+	var b strings.Builder
+	b.WriteString(src[:begin])
+	b.WriteString(obs.TableBegin)
+	b.WriteString("\n")
+	b.WriteString(obs.CatalogTable())
+	b.WriteString(src[end:])
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

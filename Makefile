@@ -37,11 +37,15 @@ fmt:
 
 # Benchmarks plus a deterministic metrics snapshot of the full
 # experiment sweep, so a perf investigation always has the matching
-# kernel/verification counters next to the timings.
+# kernel/verification counters next to the timings. sweepbench times
+# the full `-exp all` sweep serial-cold vs parallel-cold vs warm-cache
+# (verifying byte-identity along the way) and records the comparison
+# in BENCH_sweep.json at the repo root.
 bench:
 	mkdir -p artifacts
 	$(GO) test -bench=. -benchmem ./... | tee artifacts/bench.txt
 	$(GO) run ./cmd/abftchol -exp all -quick -metrics-out artifacts/bench-metrics.json > /dev/null
+	$(GO) run ./tools/sweepbench -out BENCH_sweep.json -metrics-out artifacts/sweep-cache-metrics.json
 
 # The observability artifacts CI uploads: a Perfetto-loadable Chrome
 # trace of the fig8 sweep's last run plus the sweep's metrics

@@ -15,6 +15,12 @@
 //	abftchol -run -machine laptop -n 512 -scheme online -real \
 //	         -inject storage@4 -delta 1e5
 //
+// Sweeps run through a deduplicating scheduler; a worker pool and an
+// on-disk result cache are opt-in and never change the output bytes:
+//
+//	abftchol -exp all -parallel 8          # bounded worker pool
+//	abftchol -exp all -cache               # memoize under artifacts/cache/
+//
 // Export observability artifacts (see docs/OBSERVABILITY.md):
 //
 //	abftchol -exp fig8 -quick -trace-out fig8.json -metrics-out fig8-metrics.json
@@ -66,6 +72,10 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the run's timeline here (.json Chrome/Perfetto, .jsonl compact); with -exp, the last run's")
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot accumulated over the run(s) here")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the tool itself here")
+
+		parallel = flag.Int("parallel", 0, "sweep worker pool size; 0 = GOMAXPROCS, 1 = serial (output is byte-identical either way)")
+		useCache = flag.Bool("cache", false, "memoize model-plane results in an on-disk cache (see -cache-dir)")
+		cacheDir = flag.String("cache-dir", "artifacts/cache", "result cache location used by -cache")
 	)
 	flag.Parse()
 
@@ -75,6 +85,10 @@ func main() {
 	}
 	defer stopProfile()
 	oc := obsCfg{traceOut: *traceOut, metricsOut: *metricsOut}
+	var cache *experiments.Cache
+	if *useCache {
+		cache = experiments.NewCache(*cacheDir)
+	}
 
 	switch {
 	case *chooseK:
@@ -105,18 +119,22 @@ func main() {
 		}
 		fmt.Println("verify")
 	case *expID != "":
-		if err := runExperiments(*expID, *csv, *quick, *plot, *jsonOut, oc); err != nil {
+		sched := experiments.NewScheduler(*parallel, cache)
+		if err := runExperiments(*expID, *csv, *quick, *plot, *jsonOut, oc, sched); err != nil {
 			fatal(err)
 		}
+		warnStoreErr(sched)
 	case *doRun:
+		sched := experiments.NewScheduler(1, cache)
 		if err := runOne(runCfg{
 			machine: *machine, n: *n, scheme: *scheme, k: *k,
 			opt1: !*noOpt1, place: *place, real: *real,
 			inject: *inject, delta: *delta, seed: *seed,
 			trace: *trace, variant: *variant, vectors: *vectors,
-		}, oc); err != nil {
+		}, oc, sched); err != nil {
 			fatal(err)
 		}
+		warnStoreErr(sched)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -128,7 +146,16 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runExperiments(id string, csv, quick, plot, jsonOut bool, oc obsCfg) error {
+// warnStoreErr surfaces a broken cache directory without failing the
+// sweep: the results printed are unaffected, only the memoization was
+// lost.
+func warnStoreErr(sched *experiments.Scheduler) {
+	if err := sched.StoreErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "abftchol: cache:", err)
+	}
+}
+
+func runExperiments(id string, csv, quick, plot, jsonOut bool, oc obsCfg, sched *experiments.Scheduler) error {
 	var cfg experiments.Config
 	if quick {
 		cfg.Sizes = []int{5120, 10240}
@@ -136,7 +163,7 @@ func runExperiments(id string, csv, quick, plot, jsonOut bool, oc obsCfg) error 
 	}
 	cfg.Obs = oc.sink()
 	if id == "verify" {
-		rep := experiments.RunShapeChecks(cfg)
+		rep := sched.RunShapeChecks(cfg)
 		if jsonOut {
 			s, err := rep.JSON()
 			if err != nil {
@@ -166,7 +193,7 @@ func runExperiments(id string, csv, quick, plot, jsonOut bool, oc obsCfg) error 
 	}
 	for _, one := range ids {
 		ent := reg[one]
-		out := ent.Run(ent.Profile, cfg)
+		out := sched.Run(ent.Run, ent.Profile, cfg)
 		switch v := out.(type) {
 		case *experiments.Figure:
 			switch {
@@ -273,7 +300,7 @@ type runCfg struct {
 	opt1, real, trace                       bool
 }
 
-func runOne(c runCfg, oc obsCfg) error {
+func runOne(c runCfg, oc obsCfg, sched *experiments.Scheduler) error {
 	prof, err := hetsim.ProfileByName(c.machine)
 	if err != nil {
 		return err
@@ -313,7 +340,6 @@ func runOne(c runCfg, oc obsCfg) error {
 	var reg *obs.Registry
 	if oc.metricsOut != "" {
 		reg = obs.NewRegistry()
-		o.Metrics = reg
 	}
 	if c.trace && c.n/prof.BlockSize > 16 {
 		return fmt.Errorf("-trace is readable only for small runs; use n <= %d on this machine", 16*prof.BlockSize)
@@ -326,10 +352,16 @@ func runOne(c runCfg, oc obsCfg) error {
 		input = mat.RandSPD(c.n, c.seed)
 		o.Data = input
 	}
-	res, err := core.Run(o)
-	if err != nil {
-		return err
+	// A single run still goes through the scheduler so -cache applies:
+	// traced runs and real-plane inputs bypass the disk cache (entries
+	// carry neither a timeline nor the factor), everything else is
+	// memoized by its canonical fingerprint.
+	sink := &experiments.Obs{CaptureTrace: o.Trace, Metrics: reg}
+	pr := sched.Execute([]core.Options{o}, sink)[0]
+	if pr.Err != nil {
+		return pr.Err
 	}
+	res := pr.Result
 	fmt.Printf("machine      %s (GPU %s, block %d)\n", prof.Name, prof.GPU.Name, res.B)
 	fmt.Printf("scheme       %s (%s)  K=%d  m=%d  opt1=%v  placement=%v\n",
 		res.Scheme, res.Variant, res.K, c.vectors, c.opt1, res.Placement)

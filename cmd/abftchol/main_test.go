@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"abftchol/internal/core"
+	"abftchol/internal/experiments"
 	"abftchol/internal/fault"
 	"abftchol/internal/obs"
 )
@@ -28,6 +29,10 @@ func silence(t *testing.T) {
 		devNull.Close()
 	})
 }
+
+// testSched builds a fresh serial scheduler with no disk cache: the
+// configuration every pre-scheduler test implicitly ran under.
+func testSched() *experiments.Scheduler { return experiments.NewScheduler(1, nil) }
 
 func TestParseScheme(t *testing.T) {
 	cases := map[string]core.Scheme{
@@ -108,14 +113,14 @@ func TestRunExperimentsModes(t *testing.T) {
 		{false, true, false},
 		{false, false, true},
 	} {
-		if err := runExperiments("fig12", mode.csv, true, mode.plot, mode.json, obsCfg{}); err != nil {
+		if err := runExperiments("fig12", mode.csv, true, mode.plot, mode.json, obsCfg{}, testSched()); err != nil {
 			t.Fatalf("mode %+v: %v", mode, err)
 		}
 	}
-	if err := runExperiments("table7", false, true, false, true, obsCfg{}); err != nil {
+	if err := runExperiments("table7", false, true, false, true, obsCfg{}, testSched()); err != nil {
 		t.Fatal(err)
 	}
-	if err := runExperiments("nope", false, true, false, false, obsCfg{}); err == nil {
+	if err := runExperiments("nope", false, true, false, false, obsCfg{}, testSched()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -127,7 +132,7 @@ func TestRunOneRealWithEverything(t *testing.T) {
 		n: 128, k: 2, vectors: 4, real: true, trace: true,
 		inject: "storage@2", delta: 1e4, seed: 5, opt1: true,
 	}
-	if err := runOne(cfg, obsCfg{}); err != nil {
+	if err := runOne(cfg, obsCfg{}, testSched()); err != nil {
 		t.Fatalf("full-feature run failed: %v", err)
 	}
 }
@@ -137,28 +142,28 @@ func TestRunOneValidation(t *testing.T) {
 	base := runCfg{machine: "laptop", scheme: "enhanced", place: "auto", variant: "left", n: 64, k: 1, vectors: 2}
 	bad := base
 	bad.machine = "nope"
-	if err := runOne(bad, obsCfg{}); err == nil {
+	if err := runOne(bad, obsCfg{}, testSched()); err == nil {
 		t.Fatal("bad machine accepted")
 	}
 	bad = base
 	bad.variant = "diagonal"
-	if err := runOne(bad, obsCfg{}); err == nil {
+	if err := runOne(bad, obsCfg{}, testSched()); err == nil {
 		t.Fatal("bad variant accepted")
 	}
 	bad = base
 	bad.real = true
 	bad.n = 8192
-	if err := runOne(bad, obsCfg{}); err == nil {
+	if err := runOne(bad, obsCfg{}, testSched()); err == nil {
 		t.Fatal("huge -real accepted")
 	}
 	bad = base
 	bad.trace = true
 	bad.n = 4096 // 128 blocks on laptop: too many rows for a gantt
-	if err := runOne(bad, obsCfg{}); err == nil {
+	if err := runOne(bad, obsCfg{}, testSched()); err == nil {
 		t.Fatal("huge -trace accepted")
 	}
 	// And a good one end to end (model plane, tiny).
-	if err := runOne(base, obsCfg{}); err != nil {
+	if err := runOne(base, obsCfg{}, testSched()); err != nil {
 		t.Fatalf("valid run failed: %v", err)
 	}
 }
@@ -173,7 +178,7 @@ func TestObsOutputFlags(t *testing.T) {
 
 	// -run mode: both artifacts appear and are well formed.
 	base := runCfg{machine: "laptop", scheme: "enhanced", place: "auto", variant: "left", n: 256, k: 1, vectors: 2, opt1: true}
-	if err := runOne(base, oc); err != nil {
+	if err := runOne(base, oc, testSched()); err != nil {
 		t.Fatal(err)
 	}
 	traceData, err := os.ReadFile(oc.traceOut)
@@ -187,7 +192,7 @@ func TestObsOutputFlags(t *testing.T) {
 
 	// .jsonl extension selects the compact form: every line is JSON.
 	oc2 := obsCfg{traceOut: filepath.Join(dir, "trace.jsonl")}
-	if err := runOne(base, oc2); err != nil {
+	if err := runOne(base, oc2, testSched()); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(oc2.traceOut)
@@ -206,7 +211,7 @@ func TestObsOutputFlags(t *testing.T) {
 		traceOut:   filepath.Join(dir, "fig12.json"),
 		metricsOut: filepath.Join(dir, "fig12-metrics.json"),
 	}
-	if err := runExperiments("fig12", false, true, false, false, oc3); err != nil {
+	if err := runExperiments("fig12", false, true, false, false, oc3, testSched()); err != nil {
 		t.Fatal(err)
 	}
 	traceData, err = os.ReadFile(oc3.traceOut)

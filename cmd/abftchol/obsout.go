@@ -79,10 +79,11 @@ func (c obsCfg) flush(s *experiments.Obs, expID string) error {
 	if c.traceOut == "" {
 		return nil
 	}
-	return c.writeTrace(s.LastTrace, map[string]string{
+	tr, label := s.LastTrace()
+	return c.writeTrace(tr, map[string]string{
 		"tool":       "abftchol",
 		"experiment": expID,
-		"run":        s.LastTraceLabel,
+		"run":        label,
 	})
 }
 

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"abftchol/internal/core"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+)
+
+// cacheFormat versions the on-disk entry layout; bumping it silently
+// invalidates every existing entry (old files simply stop matching).
+const cacheFormat = 1
+
+// Cache is the sweep engine's content-addressed on-disk result store:
+// one JSON file per point under dir, named by the point's fingerprint.
+// Entries hold everything a Result carries except the recorded
+// timeline and the computed factor, so only model-plane points (no
+// real input data) are stored. A corrupt, truncated, or foreign file
+// is a miss, never an error — the point just runs again and the entry
+// is rewritten.
+//
+// The cache is safe for concurrent use by one process (writes go
+// through a temp file + rename) and safe to share between processes
+// on the usual POSIX rename-is-atomic assumption.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating lazily on first store) a result cache
+// rooted at dir. The conventional location is artifacts/cache/.
+func NewCache(dir string) *Cache {
+	return &Cache{dir: dir}
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// cacheEntry is the on-disk form of one memoized point.
+type cacheEntry struct {
+	Format      int          `json:"format"`
+	Fingerprint string       `json:"fingerprint"`
+	Key         pointKey     `json:"key"`
+	Result      cachedResult `json:"result"`
+}
+
+// cachedResult mirrors core.Result minus the fields that cannot (the
+// timeline) or should not (the factor matrix) round-trip through JSON.
+type cachedResult struct {
+	Scheme            core.Scheme       `json:"scheme"`
+	Variant           core.Variant      `json:"variant"`
+	N                 int               `json:"n"`
+	B                 int               `json:"b"`
+	K                 int               `json:"k"`
+	Placement         core.Placement    `json:"placement"`
+	Time              float64           `json:"time"`
+	GFLOPS            float64           `json:"gflops"`
+	Attempts          int               `json:"attempts"`
+	Corrections       int               `json:"corrections"`
+	VerifiedBlocks    int               `json:"verified_blocks"`
+	FailStop          int               `json:"fail_stop"`
+	Injections        []fault.Injection `json:"injections,omitempty"`
+	PropagationEvents int               `json:"propagation_events"`
+	DataBytes         float64           `json:"data_bytes"`
+	ChecksumBytes     float64           `json:"checksum_bytes"`
+	GPUStats          hetsim.Stats      `json:"gpu_stats"`
+	CPUStats          hetsim.Stats      `json:"cpu_stats"`
+}
+
+func toCached(r core.Result) cachedResult {
+	return cachedResult{
+		Scheme: r.Scheme, Variant: r.Variant, N: r.N, B: r.B, K: r.K,
+		Placement: r.Placement, Time: r.Time, GFLOPS: r.GFLOPS,
+		Attempts: r.Attempts, Corrections: r.Corrections,
+		VerifiedBlocks: r.VerifiedBlocks, FailStop: r.FailStop,
+		Injections: r.Injections, PropagationEvents: r.PropagationEvents,
+		DataBytes: r.DataBytes, ChecksumBytes: r.ChecksumBytes,
+		GPUStats: r.GPUStats, CPUStats: r.CPUStats,
+	}
+}
+
+func (cr cachedResult) toResult() core.Result {
+	return core.Result{
+		Scheme: cr.Scheme, Variant: cr.Variant, N: cr.N, B: cr.B, K: cr.K,
+		Placement: cr.Placement, Time: cr.Time, GFLOPS: cr.GFLOPS,
+		Attempts: cr.Attempts, Corrections: cr.Corrections,
+		VerifiedBlocks: cr.VerifiedBlocks, FailStop: cr.FailStop,
+		Injections: cr.Injections, PropagationEvents: cr.PropagationEvents,
+		DataBytes: cr.DataBytes, ChecksumBytes: cr.ChecksumBytes,
+		GPUStats: cr.GPUStats, CPUStats: cr.CPUStats,
+	}
+}
+
+// path maps a fingerprint to its entry file.
+func (c *Cache) path(fp string) string {
+	return filepath.Join(c.dir, fp+".json")
+}
+
+// Load returns the cached result for a fingerprint, if present and
+// valid.
+func (c *Cache) Load(fp string) (core.Result, bool) {
+	data, err := os.ReadFile(c.path(fp))
+	if err != nil {
+		return core.Result{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return core.Result{}, false
+	}
+	if e.Format != cacheFormat || e.Fingerprint != fp {
+		return core.Result{}, false
+	}
+	return e.Result.toResult(), true
+}
+
+// Store writes one point's result. Errors are returned for the caller
+// to surface (a read-only artifacts/ directory should be loud, not a
+// silent slowdown), but a failed store never poisons the cache: the
+// entry is written to a temp file first and renamed into place whole.
+func (c *Cache) Store(o core.Options, r core.Result) error {
+	key := keyOf(o)
+	fp := key.fingerprint()
+	e := cacheEntry{Format: cacheFormat, Fingerprint: fp, Key: key, Result: toCached(r)}
+	data, err := json.MarshalIndent(&e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: cache encode %s: %w", fp, err)
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: cache dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
+	if err != nil {
+		return fmt.Errorf("experiments: cache store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: cache store %s: write %v, close %v", fp, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(fp)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: cache store %s: %w", fp, err)
+	}
+	return nil
+}

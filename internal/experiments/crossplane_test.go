@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"abftchol/internal/core"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+)
+
+// TestCrossPlaneCampaignsThroughScheduler extends the core packages'
+// model-vs-real property to the sweep engine: under seeded randomized
+// storage-error campaigns, the cost-model plane and the real float64
+// plane must agree on the recovery outcome — corrected in place
+// (Attempts == 1) versus restarted (Attempts > 1) versus exhausted
+// (error) — for every scheme and blocked variant, even when all the
+// point pairs resolve concurrently through one worker pool.
+func TestCrossPlaneCampaignsThroughScheduler(t *testing.T) {
+	prof := hetsim.Laptop()
+	const (
+		n    = 256
+		rate = 0.4
+	)
+	nb := n / prof.BlockSize
+
+	type pairCase struct {
+		label   string
+		scheme  core.Scheme
+		variant core.Variant
+		seed    int64
+	}
+	var cases []pairCase
+	for _, sch := range []core.Scheme{core.SchemeOffline, core.SchemeOnline, core.SchemeEnhanced, core.SchemeOnlineScrub} {
+		for _, v := range []core.Variant{core.LeftLooking, core.RightLooking} {
+			for seed := int64(1); seed <= 3; seed++ {
+				cases = append(cases, pairCase{
+					label:   fmt.Sprintf("%s/%s/seed%d", sch, v, seed),
+					scheme:  sch,
+					variant: v,
+					seed:    seed,
+				})
+			}
+		}
+	}
+
+	// Build the model/real option pairs, then resolve the whole batch
+	// through one concurrent scheduler call: the property must hold
+	// when the planes race each other on the worker pool.
+	points := make([]core.Options, 0, 2*len(cases))
+	for _, c := range cases {
+		scen := fault.Campaign(fault.CampaignConfig{
+			Blocks:           nb,
+			BlockSize:        prof.BlockSize,
+			RatePerIteration: rate,
+			Seed:             c.seed,
+			Delta:            1e6,
+		})
+		model := core.Options{
+			Profile: prof, N: n, Scheme: c.scheme, Variant: c.variant,
+			K: 2, ConcurrentRecalc: true, Placement: core.PlaceAuto,
+			Scenarios: scen, MaxAttempts: 10,
+		}
+		real := model
+		real.Data = mat.RandSPD(n, c.seed)
+		points = append(points, model, real)
+	}
+
+	results := NewScheduler(8, nil).Execute(points, nil)
+	for i, c := range cases {
+		model, real := results[2*i], results[2*i+1]
+		if (model.Err == nil) != (real.Err == nil) {
+			t.Errorf("%s: planes disagree on survival: model err %v, real err %v", c.label, model.Err, real.Err)
+			continue
+		}
+		if model.Err != nil {
+			continue // both exhausted their attempts: agreement
+		}
+		mr, rr := model.Result, real.Result
+		// The recovery outcome must agree unconditionally: either both
+		// planes corrected every error in place or both restarted.
+		if (mr.Attempts == 1) != (rr.Attempts == 1) {
+			t.Errorf("%s: planes disagree corrected-in-place vs restart: model attempts %d, real attempts %d",
+				c.label, mr.Attempts, rr.Attempts)
+		}
+		// Exact attempt counts agree unless the real plane hit a
+		// numeric POTF2 fail-stop — a breakdown on corrupted float64
+		// data the cost model cannot see, which costs extra restarts.
+		if rr.FailStop == 0 && mr.Attempts != rr.Attempts {
+			t.Errorf("%s: model attempts %d, real attempts %d (no fail-stop)", c.label, mr.Attempts, rr.Attempts)
+		}
+		if mr.L != nil {
+			t.Errorf("%s: model plane returned a factor", c.label)
+		}
+		if rr.L == nil {
+			t.Errorf("%s: real plane returned no factor", c.label)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"os"
+	"sort"
+	"testing"
+
+	"abftchol/internal/obs"
+)
+
+// The differential battery: the scheduler's whole contract is that
+// routing a sweep through plan/execute/replay — at any worker count,
+// with or without the cache — changes nothing observable about the
+// output. Every renderer of every registered runner is compared
+// byte-for-byte against the serial direct path.
+
+// sweepCfg mirrors cmd/abftchol's -quick settings.
+func sweepCfg() Config {
+	return Config{Sizes: []int{5120, 10240}, CapabilityN: 10240}
+}
+
+// renderAll captures every textual form of a runner result.
+func renderAll(t *testing.T, out interface{ String() string }) map[string]string {
+	t.Helper()
+	forms := map[string]string{"text": out.String()}
+	type csver interface{ CSV() string }
+	type jsoner interface{ JSON() (string, error) }
+	if c, ok := out.(csver); ok {
+		forms["csv"] = c.CSV()
+	}
+	if j, ok := out.(jsoner); ok {
+		s, err := j.JSON()
+		if err != nil {
+			t.Fatalf("JSON render: %v", err)
+		}
+		forms["json"] = s
+	}
+	return forms
+}
+
+// registryIDs returns every registered experiment, deterministically
+// ordered.
+func registryIDs() []string {
+	var ids []string
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TestSchedulerDifferentialAllRunners locks the engine down against
+// the serial path: for every registered runner, the direct call, a
+// one-worker scheduler, and an eight-worker scheduler must render
+// byte-identical text, CSV, and JSON.
+func TestSchedulerDifferentialAllRunners(t *testing.T) {
+	reg := Registry()
+	serial := NewScheduler(1, nil)
+	wide := NewScheduler(8, nil)
+	for _, id := range registryIDs() {
+		ent := reg[id]
+		direct := renderAll(t, ent.Run(ent.Profile, sweepCfg()))
+		oneWorker := renderAll(t, serial.Run(ent.Run, ent.Profile, sweepCfg()))
+		eightWorkers := renderAll(t, wide.Run(ent.Run, ent.Profile, sweepCfg()))
+		for form, want := range direct {
+			if got := oneWorker[form]; got != want {
+				t.Errorf("%s: -parallel 1 %s output diverges from the serial path:\n--- serial ---\n%s--- scheduler ---\n%s", id, form, want, got)
+			}
+			if got := eightWorkers[form]; got != want {
+				t.Errorf("%s: -parallel 8 %s output diverges from the serial path:\n--- serial ---\n%s--- scheduler ---\n%s", id, form, want, got)
+			}
+		}
+	}
+}
+
+// TestSchedulerDifferentialShapeChecks extends the battery to the
+// verify mode: the self-test report must not depend on how its runs
+// were executed.
+func TestSchedulerDifferentialShapeChecks(t *testing.T) {
+	cfg := Config{Sizes: []int{5120}, CapabilityN: 5120}
+	direct := RunShapeChecks(cfg).String()
+	parallel := NewScheduler(8, nil).RunShapeChecks(cfg).String()
+	if direct != parallel {
+		t.Errorf("verify report diverges under the scheduler:\n--- serial ---\n%s--- scheduler ---\n%s", direct, parallel)
+	}
+}
+
+// TestSchedulerCacheWarmIdenticalWithZeroExecutions is the cache's
+// acceptance test: a second sweep over a warm cache must produce
+// byte-identical output while executing nothing — proven through the
+// kernel-launch counters, which only real executions emit.
+func TestSchedulerCacheWarmIdenticalWithZeroExecutions(t *testing.T) {
+	dir := t.TempDir()
+	reg := Registry()
+	ids := registryIDs()
+
+	runAll := func(sched *Scheduler, sink *Obs) map[string]map[string]string {
+		out := make(map[string]map[string]string)
+		for _, id := range ids {
+			ent := reg[id]
+			cfg := sweepCfg()
+			cfg.Obs = sink
+			out[id] = renderAll(t, sched.Run(ent.Run, ent.Profile, cfg))
+		}
+		return out
+	}
+
+	coldSink := &Obs{Metrics: obs.NewRegistry()}
+	cold := runAll(NewScheduler(4, NewCache(dir)), coldSink)
+	if got := coldSink.Metrics.Counter("sweep.cache.stores"); got == 0 {
+		t.Fatal("cold sweep stored nothing in the cache")
+	}
+
+	warmSink := &Obs{Metrics: obs.NewRegistry()}
+	warm := runAll(NewScheduler(4, NewCache(dir)), warmSink)
+
+	for _, id := range ids {
+		for form, want := range cold[id] {
+			if got := warm[id][form]; got != want {
+				t.Errorf("%s: warm-cache %s output diverges:\n--- cold ---\n%s--- warm ---\n%s", id, form, want, got)
+			}
+		}
+	}
+
+	// Zero new core executions: no kernel was launched, no run
+	// finalized, and the sweep accounting says every point came from
+	// the cache or the in-process memo.
+	for _, ck := range obs.ClassKeys {
+		if got := warmSink.Metrics.Counter("kernel.launches." + ck.Key); got != 0 {
+			t.Errorf("warm sweep launched %d %s kernels; want 0", got, ck.Key)
+		}
+	}
+	if got := warmSink.Metrics.Counter("run.count"); got != 0 {
+		t.Errorf("warm sweep finalized %d runs; want 0", got)
+	}
+	if got := warmSink.Metrics.Counter("sweep.points.executed"); got != 0 {
+		t.Errorf("warm sweep executed %d points; want 0", got)
+	}
+	if got := warmSink.Metrics.Counter("sweep.cache.hits"); got == 0 {
+		t.Error("warm sweep reported no cache hits")
+	}
+	if cold, warmed := coldSink.Metrics.Counter("sweep.points.planned"), warmSink.Metrics.Counter("sweep.points.planned"); cold != warmed {
+		t.Errorf("planned point count changed between sweeps: cold %d, warm %d", cold, warmed)
+	}
+}
+
+// TestSchedulerCrossRunnerDedup asserts the memo spans runners: the
+// overhead and performance figures share their enhanced runs, so a
+// scheduler running both must execute fewer points than it plans.
+func TestSchedulerCrossRunnerDedup(t *testing.T) {
+	reg := Registry()
+	sched := NewScheduler(4, nil)
+	sink := &Obs{Metrics: obs.NewRegistry()}
+	cfg := sweepCfg()
+	cfg.Obs = sink
+	for _, id := range []string{"fig14", "fig16"} {
+		ent := reg[id]
+		sched.Run(ent.Run, ent.Profile, cfg)
+	}
+	planned := sink.Metrics.Counter("sweep.points.planned")
+	executed := sink.Metrics.Counter("sweep.points.executed")
+	dedup := sink.Metrics.Counter("sweep.dedup.hits")
+	if executed >= planned {
+		t.Errorf("no dedup across fig14+fig16: planned %d, executed %d", planned, executed)
+	}
+	if dedup == 0 {
+		t.Error("sweep.dedup.hits = 0 across overlapping runners")
+	}
+	if executed+dedup != planned {
+		t.Errorf("accounting: executed %d + dedup %d != planned %d", executed, dedup, planned)
+	}
+}
+
+// TestCacheCorruptEntryIsMiss asserts a damaged cache never poisons a
+// sweep: truncated or foreign files are re-run and rewritten.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	reg := Registry()
+	ent := reg["fig12"]
+	cfg := Config{Sizes: []int{5120}}
+	want := NewScheduler(1, nil).Run(ent.Run, ent.Profile, cfg).String()
+
+	NewScheduler(1, NewCache(dir)).Run(ent.Run, ent.Profile, cfg)
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache not populated: %v (%d entries)", err, len(entries))
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(dir+"/"+e.Name(), []byte("{broken"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sink := &Obs{Metrics: obs.NewRegistry()}
+	cfg.Obs = sink
+	got := NewScheduler(1, NewCache(dir)).Run(ent.Run, ent.Profile, cfg).String()
+	if got != want {
+		t.Errorf("corrupt cache changed the output:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	if hits := sink.Metrics.Counter("sweep.cache.hits"); hits != 0 {
+		t.Errorf("%d cache hits served from corrupt entries", hits)
+	}
+	if ex := sink.Metrics.Counter("sweep.points.executed"); ex == 0 {
+		t.Error("corrupt cache should force re-execution")
+	}
+}

@@ -79,13 +79,12 @@ func CoverageStudy(prof hetsim.Profile, cfg Config) *Figure {
 			// the remaining errors; allow plenty of retries and treat
 			// an exhausted run like the restarts it performed.
 			o.MaxAttempts = 10
-			r, err := core.Run(cfg.instrument(o))
+			r, err := cfg.runErr(o)
 			if err != nil {
 				restarts++
 			} else if r.Attempts > 1 {
 				restarts++
 			}
-			cfg.capture(r)
 			time += r.Time
 			exposure += float64(r.PropagationEvents)
 			errors += float64(len(r.Injections))

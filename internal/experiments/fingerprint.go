@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"abftchol/internal/core"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+)
+
+// pointKey is the canonical, content-addressable identity of one
+// factorization point: every Options field that can change the
+// simulated outcome, with defaults resolved so that spellings that
+// mean the same run (K=0 vs K=1, ChecksumVectors 0 vs 2) share one
+// key. Observational fields (Trace, Metrics) are deliberately absent —
+// attaching instrumentation never changes a result — and real-plane
+// input data enters through a content hash. The struct marshals with
+// a fixed field order, so its JSON is a canonical form and its SHA-256
+// is a stable fingerprint across processes.
+type pointKey struct {
+	Profile          hetsim.Profile   `json:"profile"`
+	N                int              `json:"n"`
+	BlockSize        int              `json:"block_size"`
+	Scheme           core.Scheme      `json:"scheme"`
+	Variant          core.Variant     `json:"variant"`
+	K                int              `json:"k"`
+	ChecksumVectors  int              `json:"checksum_vectors"`
+	ConcurrentRecalc bool             `json:"concurrent_recalc"`
+	Placement        core.Placement   `json:"placement"`
+	Scenarios        []fault.Scenario `json:"scenarios,omitempty"`
+	MaxAttempts      int              `json:"max_attempts"`
+	DataHash         string           `json:"data_hash,omitempty"`
+}
+
+// keyOf canonicalizes one options point. It applies the same defaults
+// core.Options.normalize does, without validating: invalid options get
+// a fingerprint too (their outcome — the validation error — is just as
+// memoizable as a result).
+func keyOf(o core.Options) pointKey {
+	k := pointKey{
+		Profile:          o.Profile,
+		N:                o.N,
+		BlockSize:        o.BlockSize,
+		Scheme:           o.Scheme,
+		Variant:          o.Variant,
+		K:                o.K,
+		ChecksumVectors:  o.ChecksumVectors,
+		ConcurrentRecalc: o.ConcurrentRecalc,
+		Placement:        o.Placement,
+		Scenarios:        o.Scenarios,
+		MaxAttempts:      o.MaxAttempts,
+	}
+	if k.BlockSize <= 0 {
+		k.BlockSize = o.Profile.BlockSize
+	}
+	if k.K < 1 {
+		k.K = 1
+	}
+	if k.ChecksumVectors == 0 {
+		k.ChecksumVectors = 2
+	}
+	if k.MaxAttempts <= 0 {
+		k.MaxAttempts = 3
+	}
+	if o.Data != nil {
+		k.DataHash = dataHash(o.Data)
+	}
+	return k
+}
+
+// fingerprint returns the hex SHA-256 of the point's canonical JSON:
+// the key under which the scheduler deduplicates work and the result
+// cache addresses its entries.
+func fingerprint(o core.Options) string {
+	return keyOf(o).fingerprint()
+}
+
+func (k pointKey) fingerprint() string {
+	blob, err := json.Marshal(k)
+	if err != nil {
+		// pointKey is a closed struct of marshalable fields; failure
+		// here is a programming error, not an input condition.
+		panic(fmt.Sprintf("experiments: cannot canonicalize point: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// dataHash fingerprints a real-plane input matrix by content, so two
+// identically generated inputs (same RandSPD seed and size) share one
+// cached result while different inputs never collide.
+func dataHash(m *mat.Matrix) string {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(m.Rows))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.Cols))
+	h.Write(hdr[:])
+	var buf [8]byte
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(m.At(i, j)))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"testing"
+
+	"abftchol/internal/core"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/mat"
+	"abftchol/internal/obs"
+)
+
+func TestFingerprintNormalizesDefaults(t *testing.T) {
+	prof := hetsim.Tardis()
+	base := core.Options{Profile: prof, N: 5120, Scheme: core.SchemeEnhanced}
+	spelled := base
+	spelled.K = 1
+	spelled.ChecksumVectors = 2
+	spelled.MaxAttempts = 3
+	spelled.BlockSize = prof.BlockSize
+	if fingerprint(base) != fingerprint(spelled) {
+		t.Error("default spellings of the same point fingerprint differently")
+	}
+}
+
+func TestFingerprintIgnoresObservation(t *testing.T) {
+	o := core.Options{Profile: hetsim.Tardis(), N: 5120, Scheme: core.SchemeEnhanced}
+	instrumented := o
+	instrumented.Trace = true
+	instrumented.Metrics = obs.NewRegistry()
+	if fingerprint(o) != fingerprint(instrumented) {
+		t.Error("attaching instrumentation changed the fingerprint")
+	}
+}
+
+func TestFingerprintSeparatesPoints(t *testing.T) {
+	base := core.Options{Profile: hetsim.Tardis(), N: 5120, Scheme: core.SchemeEnhanced}
+	seen := map[string]string{fingerprint(base): "base"}
+	variants := map[string]core.Options{}
+	o := base
+	o.N = 7680
+	variants["different n"] = o
+	o = base
+	o.Scheme = core.SchemeOnline
+	variants["different scheme"] = o
+	o = base
+	o.K = 3
+	variants["different K"] = o
+	o = base
+	o.Variant = core.RightLooking
+	variants["different variant"] = o
+	o = base
+	o.ConcurrentRecalc = true
+	variants["opt1 on"] = o
+	o = base
+	o.Placement = core.PlaceCPU
+	variants["different placement"] = o
+	o = base
+	o.Scenarios = []fault.Scenario{fault.DefaultStorage(3)}
+	variants["with injection"] = o
+	o = base
+	o.Profile = hetsim.Bulldozer64()
+	variants["different machine"] = o
+	for name, v := range variants {
+		fp := fingerprint(v)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestFingerprintHashesRealData(t *testing.T) {
+	o := core.Options{Profile: hetsim.Laptop(), N: 64, Scheme: core.SchemeEnhanced}
+	a, b := o, o
+	a.Data = mat.RandSPD(64, 1)
+	b.Data = mat.RandSPD(64, 2)
+	same := o
+	same.Data = mat.RandSPD(64, 1)
+	if fingerprint(a) == fingerprint(o) {
+		t.Error("real-plane point collides with its model-plane twin")
+	}
+	if fingerprint(a) == fingerprint(b) {
+		t.Error("different inputs share a fingerprint")
+	}
+	if fingerprint(a) != fingerprint(same) {
+		t.Error("identically generated inputs should share a fingerprint")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	cache := NewCache(t.TempDir())
+	o := core.Options{Profile: hetsim.Laptop(), N: 256, Scheme: core.SchemeEnhanced,
+		K: 2, ConcurrentRecalc: true, Placement: core.PlaceAuto,
+		Scenarios: []fault.Scenario{func() fault.Scenario {
+			s := fault.DefaultStorage(3)
+			s.Delta = 1e5
+			return s
+		}()}}
+	want, err := core.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Store(o, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Load(fingerprint(o))
+	if !ok {
+		t.Fatal("stored entry did not load")
+	}
+	if got.Attempts != want.Attempts || got.Corrections != want.Corrections ||
+		got.VerifiedBlocks != want.VerifiedBlocks || got.N != want.N ||
+		got.Scheme != want.Scheme || len(got.Injections) != len(want.Injections) {
+		t.Errorf("round trip changed the result: got %+v want %+v", got, want)
+	}
+	if diff := got.Time - want.Time; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("round trip changed Time: %g vs %g", got.Time, want.Time)
+	}
+	if _, ok := cache.Load("deadbeef"); ok {
+		t.Error("unknown fingerprint loaded")
+	}
+}

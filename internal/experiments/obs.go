@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"abftchol/internal/core"
 	"abftchol/internal/hetsim"
@@ -14,7 +15,9 @@ import (
 // CaptureTrace is set — the timeline of the most recent run, which
 // for the standard sweeps is the largest, most interesting one.
 // Attach it via Config.Obs; cmd/abftchol builds one for the
-// -metrics-out / -trace-out flags.
+// -metrics-out / -trace-out flags. An Obs may be shared by concurrent
+// scheduler runs: the registry locks internally and the retained
+// trace is guarded here.
 type Obs struct {
 	// Metrics receives every run's counters and histograms (nil: no
 	// metrics).
@@ -22,9 +25,27 @@ type Obs struct {
 	// CaptureTrace records each run's timeline; only the last run's
 	// trace is retained, so memory stays bounded by one run.
 	CaptureTrace bool
-	// LastTrace and LastTraceLabel identify the retained timeline.
-	LastTrace      *hetsim.Trace
-	LastTraceLabel string
+
+	mu sync.Mutex
+	// lastTrace and lastTraceLabel identify the retained timeline.
+	lastTrace      *hetsim.Trace
+	lastTraceLabel string
+}
+
+// LastTrace returns the retained timeline and its label (nil if no
+// traced run has finished).
+func (s *Obs) LastTrace() (*hetsim.Trace, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTrace, s.lastTraceLabel
+}
+
+// setLastTrace replaces the retained timeline.
+func (s *Obs) setLastTrace(tr *hetsim.Trace, label string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastTrace = tr
+	s.lastTraceLabel = label
 }
 
 // instrument copies the sink's wiring into one run's options.
@@ -42,16 +63,38 @@ func (c Config) instrument(o core.Options) core.Options {
 
 // capture retains a finished run's trace in the sink.
 func (c Config) capture(r core.Result) {
-	if c.Obs != nil && c.Obs.CaptureTrace && r.Trace != nil {
-		c.Obs.LastTrace = r.Trace
-		c.Obs.LastTraceLabel = fmt.Sprintf("%s n=%d K=%d %s", r.Scheme, r.N, r.K, r.Placement)
+	if c.Obs != nil {
+		c.Obs.capture(r)
 	}
 }
 
-// run executes one factorization with the config's observability
-// wiring, panicking (like mustRun) if it exhausts its attempts.
+func (s *Obs) capture(r core.Result) {
+	if s != nil && s.CaptureTrace && r.Trace != nil {
+		s.setLastTrace(r.Trace, fmt.Sprintf("%s n=%d K=%d %s", r.Scheme, r.N, r.K, r.Placement))
+	}
+}
+
+// runErr resolves one factorization point. With no engine attached the
+// point executes inline with the config's observability wiring — the
+// original serial path, still used when a runner is called directly.
+// Under a scheduler the call is routed to the current phase: recorded
+// during planning (stub result), answered from the memo during replay.
+func (c Config) runErr(o core.Options) (core.Result, error) {
+	if c.eng != nil {
+		return c.eng.point(o)
+	}
+	r, err := core.Run(c.instrument(o))
+	c.capture(r) // even a failed run carries its timeline
+	return r, err
+}
+
+// run is runErr for the sweeps that never exhaust MaxAttempts by
+// construction: an error means the harness itself is misconfigured,
+// so it panics.
 func (c Config) run(o core.Options) core.Result {
-	r := mustRun(c.instrument(o))
-	c.capture(r)
+	r, err := c.runErr(o)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s n=%d: %v", o.Scheme, o.N, err))
+	}
 	return r
 }

@@ -58,14 +58,15 @@ func TestFig8MetricsMatchOverheadModel(t *testing.T) {
 
 	// The sink retains the last run's timeline, which exports as a
 	// loadable Chrome trace.
-	if sink.LastTrace == nil {
+	tr, label := sink.LastTrace()
+	if tr == nil {
 		t.Fatal("sink retained no trace")
 	}
-	if !strings.Contains(sink.LastTraceLabel, "enhanced") {
-		t.Errorf("last trace label %q should describe the final enhanced run", sink.LastTraceLabel)
+	if !strings.Contains(label, "enhanced") {
+		t.Errorf("last trace label %q should describe the final enhanced run", label)
 	}
 	var buf bytes.Buffer
-	if err := obs.WriteChromeTrace(&buf, sink.LastTrace, map[string]string{"experiment": fig.ID}); err != nil {
+	if err := obs.WriteChromeTrace(&buf, tr, map[string]string{"experiment": fig.ID}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"abftchol/internal/obs"
+)
+
+// TestSchedulerRaceBattery drives every registered runner on its
+// profile through one shared scheduler and one shared observability
+// sink simultaneously — the workload `go test -race` needs to see to
+// vouch for the engine's locking: the memo, the worker semaphore, the
+// metrics registry, and the retained trace are all contended at once.
+func TestSchedulerRaceBattery(t *testing.T) {
+	reg := Registry()
+	sched := NewScheduler(8, NewCache(t.TempDir()))
+	sink := &Obs{Metrics: obs.NewRegistry(), CaptureTrace: true}
+	cfg := Config{Sizes: []int{5120}, CapabilityN: 5120, Obs: sink}
+
+	var wg sync.WaitGroup
+	for _, id := range registryIDs() {
+		id, ent := id, reg[id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if out := sched.Run(ent.Run, ent.Profile, cfg); out.String() == "" {
+				t.Errorf("%s rendered empty under concurrency", id)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := sink.Metrics.Counter("run.count"); got == 0 {
+		t.Error("concurrent sweep recorded no runs")
+	}
+	planned := sink.Metrics.Counter("sweep.points.planned")
+	executed := sink.Metrics.Counter("sweep.points.executed")
+	dedup := sink.Metrics.Counter("sweep.dedup.hits")
+	hits := sink.Metrics.Counter("sweep.cache.hits")
+	if executed+dedup+hits != planned {
+		t.Errorf("accounting under concurrency: executed %d + dedup %d + cache %d != planned %d",
+			executed, dedup, hits, planned)
+	}
+	if tr, label := sink.LastTrace(); tr == nil || label == "" {
+		t.Error("concurrent sweep retained no trace")
+	}
+}

@@ -18,6 +18,17 @@ type Config struct {
 	// Obs, when non-nil, collects metrics (and optionally the last
 	// run's timeline) across every factorization the runner performs.
 	Obs *Obs
+	// eng routes every point through a sweep scheduler's
+	// plan/execute/replay phases instead of executing inline. Set by
+	// Scheduler.Run; nil means the original serial path.
+	eng *engine
+}
+
+// withSizes returns a copy of the config sweeping the given sizes,
+// keeping the observability sink and scheduler wiring intact.
+func (c Config) withSizes(sizes []int) Config {
+	c.Sizes = sizes
+	return c
 }
 
 func (c Config) sizes(prof hetsim.Profile) []int {
@@ -38,16 +49,6 @@ func (c Config) capabilityN(prof hetsim.Profile) int {
 		return 30720
 	}
 	return prof.MaxN
-}
-
-func mustRun(o core.Options) core.Result {
-	r, err := core.Run(o)
-	if err != nil {
-		// The experiments never exhaust MaxAttempts by construction;
-		// reaching this means the harness itself is misconfigured.
-		panic(fmt.Sprintf("experiments: %s n=%d: %v", o.Scheme, o.N, err))
-	}
-	return r
 }
 
 // baseline runs plain MAGMA at size n.

@@ -94,8 +94,8 @@ func RunShapeChecks(cfg Config) *ShapeReport {
 	// Fig 8/9: opt1 helps, more on Kepler than Fermi. The reported
 	// gains are large-n figures, so evaluate them at each machine's
 	// full size regardless of the (possibly shortened) sweep.
-	g8 := opt1Gain(tar, Config{Sizes: []int{tar.MaxN}})
-	g9 := opt1Gain(bul, Config{Sizes: []int{bul.MaxN}})
+	g8 := opt1Gain(tar, cfg.withSizes([]int{tar.MaxN}))
+	g9 := opt1Gain(bul, cfg.withSizes([]int{bul.MaxN}))
 	add("fig8", "opt1 reduces overhead on tardis (paper: ~2 points)", g8 > 0.5 && g8 < 6,
 		"gain %.2f points", g8)
 	add("fig9", "opt1 reduces overhead on bulldozer64 (paper: ~10 points)", g9 > 6 && g9 < 14,

@@ -120,6 +120,11 @@ func buildCatalog() []MetricDef {
 		add("scheme.seconds."+s, Value, "s",
 			fmt.Sprintf("summed simulated time under the %s scheme — diff against scheme.seconds.magma for the overhead breakdown", s))
 	}
+	add("sweep.points.planned", Counter, "", "options points the sweep engine's runners declared, duplicates included")
+	add("sweep.points.executed", Counter, "", "factorizations the sweep engine actually executed (after dedup and cache hits)")
+	add("sweep.dedup.hits", Counter, "", "planned points served from an identical point already run in this process")
+	add("sweep.cache.hits", Counter, "", "planned points served from the on-disk result cache without executing")
+	add("sweep.cache.stores", Counter, "", "results the sweep engine wrote to the on-disk cache")
 	return c
 }
 

@@ -4,15 +4,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Registry holds one deterministic set of metrics, pre-registered
 // from Catalog. It is strict: touching a name the catalog does not
 // declare panics, so a typo fails the first test that exercises the
-// path instead of silently dropping data. A Registry is not
-// goroutine-safe; runs are single-threaded in issue order, which is
-// also what makes snapshots reproducible.
+// path instead of silently dropping data. A mutex makes concurrent
+// emission safe (the sweep engine's worker pool shares one sink);
+// determinism is unaffected because every metric is a commutative
+// accumulation, so a snapshot is a pure function of the set of runs
+// merged in, not of their interleaving. For byte-stable *ordering*
+// guarantees the sweep engine still merges per-run deltas in
+// canonical point order (see internal/experiments).
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]int64
 	values   map[string]float64
 	hists    map[string]*Histogram
@@ -47,6 +53,8 @@ func (r *Registry) Inc(name string) { r.Add(name, 1) }
 
 // Add adds d to a counter.
 func (r *Registry) Add(name string, d int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.counters[name]; !ok {
 		panic(r.unknown(Counter, name))
 	}
@@ -55,6 +63,8 @@ func (r *Registry) Add(name string, d int64) {
 
 // AddValue adds v to a float accumulator.
 func (r *Registry) AddValue(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.values[name]; !ok {
 		panic(r.unknown(Value, name))
 	}
@@ -63,6 +73,8 @@ func (r *Registry) AddValue(name string, v float64) {
 
 // Observe records v into a histogram.
 func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
 		panic(r.unknown(HistogramKind, name))
@@ -72,6 +84,8 @@ func (r *Registry) Observe(name string, v float64) {
 
 // Counter reads a counter's current value (tests and assertions).
 func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	v, ok := r.counters[name]
 	if !ok {
 		panic(r.unknown(Counter, name))
@@ -81,6 +95,8 @@ func (r *Registry) Counter(name string) int64 {
 
 // Value reads a float accumulator's current value.
 func (r *Registry) Value(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	v, ok := r.values[name]
 	if !ok {
 		panic(r.unknown(Value, name))
@@ -90,11 +106,49 @@ func (r *Registry) Value(name string) float64 {
 
 // HistogramCount reads a histogram's observation count.
 func (r *Registry) HistogramCount(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
 		panic(r.unknown(HistogramKind, name))
 	}
 	return h.Count
+}
+
+// Merge folds every metric of src into r: counters and values add,
+// histograms add bucket-wise. Both registries hold the same closed
+// catalog, so there is nothing to reconcile — Merge(a, b) followed by
+// Snapshot is byte-identical to having emitted both registries' events
+// into one. The sweep engine gives each concurrent factorization a
+// private registry and merges the deltas in canonical point order, so
+// parallel sweeps snapshot byte-identically to serial ones.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	// Lock ordering: src is a completed per-run delta no longer being
+	// written; taking its lock second is safe because Merge callers
+	// never merge two live sinks into each other both ways.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	for name, v := range src.counters {
+		r.counters[name] += v
+	}
+	for name, v := range src.values {
+		r.values[name] += v
+	}
+	for name, h := range src.hists {
+		dst := r.hists[name]
+		dst.Count += h.Count
+		dst.Sum += h.Sum
+		dst.Underflow += h.Underflow
+		dst.Overflow += h.Overflow
+		for i := range h.buckets {
+			dst.buckets[i] += h.buckets[i]
+		}
+	}
 }
 
 // Histogram is a log₂-bucketed distribution: bucket i counts
@@ -160,6 +214,8 @@ type snapshot struct {
 // of the same catalog always have the same shape — as indented JSON.
 // Identical runs produce byte-identical snapshots.
 func (r *Registry) Snapshot() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := snapshot{
 		Counters:   r.counters,
 		Values:     r.values,
@@ -186,6 +242,8 @@ func (r *Registry) Snapshot() ([]byte, error) {
 // Names returns every registered metric name, sorted — the live
 // registry's view for the catalog drift test.
 func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var out []string
 	for n := range r.counters {
 		out = append(out, n)

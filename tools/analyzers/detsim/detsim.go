@@ -2,12 +2,13 @@
 // unseeded randomness — inside the packages where bit-reproducibility
 // is load-bearing: the heterogeneous-platform simulator
 // (internal/hetsim), the ABFT executor (internal/core), the fault
-// injector (internal/fault), and the observability layer
-// (internal/obs). Trace replay, fault campaigns, byte-identical
-// metrics snapshots, and the real-vs-model plane agreement tests all
-// assume that the same seed reproduces the same run bit for bit; one
-// time.Now or global math/rand call silently breaks every one of
-// those guarantees. The
+// injector (internal/fault), the observability layer (internal/obs),
+// and the sweep engine (internal/experiments). Trace replay, fault
+// campaigns, byte-identical metrics snapshots, the real-vs-model
+// plane agreement tests, and the parallel sweep scheduler's
+// serial-equals-parallel contract all assume that the same seed
+// reproduces the same run bit for bit; one time.Now or global
+// math/rand call silently breaks every one of those guarantees. The
 // only sanctioned randomness is a seeded *rand.Rand threaded through
 // explicitly, and the only sanctioned clock is the simulator's own.
 package detsim
@@ -44,12 +45,13 @@ var seededConstructors = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name:  "detsim",
 	Doc:   Doc,
-	Scope: "internal/hetsim, internal/core, internal/fault, internal/obs",
+	Scope: "internal/hetsim, internal/core, internal/fault, internal/obs, internal/experiments",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/hetsim",
 		"abftchol/internal/core",
 		"abftchol/internal/fault",
 		"abftchol/internal/obs",
+		"abftchol/internal/experiments",
 	),
 	Run: run,
 }

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint ci fmt bench trace-demo
+.PHONY: build test race lint lint-bench ci fmt bench trace-demo
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,15 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/abftlint ./...
 	$(GO) run ./cmd/abftlint -nolint-report ./...
+
+# Time the analyzer suite itself: one full module load/type-check
+# (BenchmarkLoadRepo) and one pass of all registered analyzers over it
+# (BenchmarkSuite). The current figures live in docs/LINTING.md; rerun
+# this when adding an analyzer to keep them honest.
+lint-bench:
+	mkdir -p artifacts
+	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkSuite' -benchmem \
+		./tools/analyzers/analysis | tee artifacts/lint-bench.txt
 
 # Rewrite files in place to satisfy the formatting gate.
 fmt:

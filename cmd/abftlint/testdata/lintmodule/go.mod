@@ -1,0 +1,3 @@
+module abftchol
+
+go 1.22

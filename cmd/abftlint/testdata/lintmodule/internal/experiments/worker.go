@@ -1,0 +1,13 @@
+// Package experiments is a deliberately buggy miniature of the sweep
+// worker pool; the driver test asserts the suite catches the leak.
+package experiments
+
+// Fan launches one worker per task and returns without joining any of
+// them: the seeded goleak bug (leaked worker goroutine).
+func Fan(tasks []func()) {
+	for _, task := range tasks {
+		go func(task func()) {
+			task()
+		}(task)
+	}
+}

@@ -1,0 +1,29 @@
+// Package obs is a deliberately buggy miniature of the real metrics
+// registry; the driver test asserts the suite catches each seeded bug.
+package obs
+
+import "sync"
+
+// Registry counts events behind a seeded guards association.
+type Registry struct {
+	mu       sync.Mutex // guards: counters
+	counters map[string]int64
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{counters: map[string]int64{}}
+}
+
+// Inc is the disciplined path.
+func (r *Registry) Inc(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name]++
+}
+
+// Reset skips the lock: the seeded lockcheck bug (unguarded write to
+// a guarded field).
+func (r *Registry) Reset(name string) {
+	r.counters[name] = 0
+}

@@ -41,7 +41,7 @@ type Scheduler struct {
 	cache   *Cache
 	sem     chan struct{}
 
-	mu       sync.Mutex
+	mu       sync.Mutex // guards: memo, storeErr
 	memo     map[string]*outcome
 	storeErr error
 }

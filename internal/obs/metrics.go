@@ -18,7 +18,7 @@ import (
 // guarantees the sweep engine still merges per-run deltas in
 // canonical point order (see internal/experiments).
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards: counters, values, hists
 	counters map[string]int64
 	values   map[string]float64
 	hists    map[string]*Histogram

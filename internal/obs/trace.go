@@ -226,10 +226,23 @@ func ValidateChromeTrace(data []byte) (events int, err error) {
 		lastTs = ev.Ts
 		events++
 	}
+	// Report the lowest unclosed track so the error is deterministic
+	// (map iteration order would otherwise pick an arbitrary one).
+	var unclosed []track
 	for t, n := range open {
 		if n != 0 {
-			return 0, fmt.Errorf("obs: %d unclosed B event(s) on pid=%d tid=%d", n, t.pid, t.tid)
+			unclosed = append(unclosed, t)
 		}
+	}
+	if len(unclosed) > 0 {
+		sort.Slice(unclosed, func(i, j int) bool {
+			if unclosed[i].pid != unclosed[j].pid {
+				return unclosed[i].pid < unclosed[j].pid
+			}
+			return unclosed[i].tid < unclosed[j].tid
+		})
+		t := unclosed[0]
+		return 0, fmt.Errorf("obs: %d unclosed B event(s) on pid=%d tid=%d", open[t], t.pid, t.tid)
 	}
 	if events == 0 {
 		return 0, fmt.Errorf("obs: trace has no timeline events")

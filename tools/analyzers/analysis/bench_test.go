@@ -31,9 +31,10 @@ func BenchmarkLoadRepo(b *testing.B) {
 }
 
 // BenchmarkSuite measures the analysis half in isolation: the full
-// seven-analyzer suite (CFGs, dominators, call graphs and all) over
-// pre-loaded packages. The number recorded in docs/LINTING.md comes
-// from this benchmark.
+// registered suite (CFGs, dominators, call graphs, guarded-by
+// inference, lock-state dataflow and all) over pre-loaded packages.
+// The number recorded in docs/LINTING.md comes from this benchmark,
+// via `make lint-bench`.
 func BenchmarkSuite(b *testing.B) {
 	pkgs := loadRepo(b)
 	b.ResetTimer()

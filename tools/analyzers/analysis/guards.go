@@ -1,0 +1,549 @@
+package analysis
+
+// Guarded-by inference: the dataflow plumbing behind the concurrency
+// analyzers. A struct that embeds a sync.Mutex or sync.RWMutex field
+// usually dedicates it to a subset of its sibling fields; this file
+// recovers that association so lockcheck can require the mutex to be
+// held around every access. Two sources feed the association:
+//
+//   - an explicit `// guards: a, b` comment on the mutex field — the
+//     repository convention documented in docs/LINTING.md, and the
+//     form reviewers should prefer because it states intent;
+//   - inference from existing locked accesses: a sibling field that
+//     some method of the type reads or writes while the mutex is
+//     definitely held is taken to be guarded by it.
+//
+// Inference only ever adds protection requirements that the code
+// already honours somewhere, so a field accessed exclusively without
+// the lock (an immutable configuration knob set before goroutines
+// start) is never dragged into the guarded set by accident.
+//
+// The same file carries the lock-state dataflow the inference and the
+// lockcheck analyzer share: a forward must/may analysis over the
+// per-function CFG tracking which mutexes are held at each node.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HeldKind says how a mutex is held at a program point.
+type HeldKind int
+
+const (
+	// HeldRead is a shared (RLock) hold.
+	HeldRead HeldKind = iota + 1
+	// HeldExcl is an exclusive (Lock) hold.
+	HeldExcl
+)
+
+// LockState maps mutex keys — types.ExprString of the receiver
+// expression, e.g. "r.mu" — to how they are held.
+type LockState map[string]HeldKind
+
+// LockOp is one mutex operation site inside a function body.
+type LockOp struct {
+	// Node is the CFG node whose statement performs the operation.
+	Node *Node
+	// Call is the Lock/Unlock/RLock/RUnlock call expression.
+	Call *ast.CallExpr
+	// Key identifies the mutex: types.ExprString of the receiver.
+	Key string
+	// Method is the sync method name (Lock, Unlock, RLock, RUnlock).
+	Method string
+	// Deferred marks an operation wrapped in a defer statement; it
+	// runs at function exit, so it does not change the held state at
+	// any body node.
+	Deferred bool
+}
+
+// Acquires reports whether the operation takes the mutex, and how.
+func (op LockOp) Acquires() (HeldKind, bool) {
+	switch op.Method {
+	case "Lock":
+		return HeldExcl, true
+	case "RLock":
+		return HeldRead, true
+	}
+	return 0, false
+}
+
+// Releases reports whether the operation drops the mutex.
+func (op LockOp) Releases() bool {
+	return op.Method == "Unlock" || op.Method == "RUnlock"
+}
+
+// syncMutexType reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex, and whether the reader/writer variant.
+func syncMutexType(t types.Type) (rw, ok bool) {
+	if t == nil {
+		return false, false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// MutexOp matches a call of a locking method on a sync.Mutex or
+// sync.RWMutex value, returning the receiver expression and method
+// name. TryLock/TryRLock are deliberately not matched: their
+// acquisition is conditional, so treating them as a hold would be
+// unsound and treating them as a release would be wrong.
+func MutexOp(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	tv, has := info.Types[sel.X]
+	if !has {
+		return nil, "", false
+	}
+	if _, isMutex := syncMutexType(tv.Type); !isMutex {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// CollectLockOps finds every mutex operation in the CFG's statements.
+// Function literals are skipped: their bodies run when invoked, not at
+// the node's program point. Operations within one node are returned in
+// source order.
+func CollectLockOps(g *CFG, info *types.Info) []LockOp {
+	var ops []LockOp
+	scan := func(node *Node, root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if recv, method, ok := MutexOp(info, n); ok {
+					ops = append(ops, LockOp{
+						Node: node, Call: n,
+						Key: types.ExprString(recv), Method: method,
+						Deferred: deferred,
+					})
+				}
+			}
+			return true
+		})
+	}
+	for _, node := range g.Nodes {
+		switch node.Kind {
+		case NodeStmt:
+			if d, ok := node.Stmt.(*ast.DeferStmt); ok {
+				scan(node, d.Call, true)
+				continue
+			}
+			scan(node, node.Stmt, false)
+		case NodeCond:
+			if node.Cond != nil {
+				scan(node, node.Cond, false)
+			}
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Call.Pos() < ops[j].Call.Pos() })
+	return ops
+}
+
+// ApplyLockOp folds one non-deferred operation into a state, returning
+// the updated copy. Deferred operations are identity: they run at
+// exit.
+func ApplyLockOp(s LockState, op LockOp) LockState {
+	if op.Deferred {
+		return s
+	}
+	kind, acquires := op.Acquires()
+	if !acquires && !op.Releases() {
+		return s
+	}
+	out := make(LockState, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	if acquires {
+		out[op.Key] = kind
+	} else {
+		delete(out, op.Key)
+	}
+	return out
+}
+
+// lockTransfer folds every operation of one node, in source order.
+func lockTransfer(s LockState, ops []LockOp) LockState {
+	for _, op := range ops {
+		s = ApplyLockOp(s, op)
+	}
+	return s
+}
+
+// OpsByNode groups operations by their CFG node, preserving source
+// order within each node.
+func OpsByNode(ops []LockOp) map[*Node][]LockOp {
+	out := map[*Node][]LockOp{}
+	for _, op := range ops {
+		out[op.Node] = append(out[op.Node], op)
+	}
+	return out
+}
+
+// MustHeldIn computes, for every CFG node (indexed like g.Nodes), the
+// set of mutexes definitely held when the node begins executing: the
+// intersection over all predecessors of the state after them. A key
+// held exclusively on one path and shared on another meets to
+// HeldRead, the weaker claim. Nodes unreachable from entry report nil
+// and should not be checked.
+func MustHeldIn(g *CFG, ops []LockOp) []LockState {
+	return heldIn(g, ops, meetIntersect)
+}
+
+// MayHeldIn is the dual union analysis: the mutexes possibly held when
+// a node begins executing (the stronger HeldExcl wins a disagreement).
+// An Unlock at a node whose may-set lacks the key releases a mutex
+// that cannot be held on any path — a certain bug.
+func MayHeldIn(g *CFG, ops []LockOp) []LockState {
+	return heldIn(g, ops, meetUnion)
+}
+
+func meetIntersect(a, b LockState) LockState {
+	out := LockState{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				out[k] = vb
+			} else {
+				out[k] = va
+			}
+		}
+	}
+	return out
+}
+
+func meetUnion(a, b LockState) LockState {
+	out := LockState{}
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if cur, ok := out[k]; !ok || v > cur {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func sameState(a, b LockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// heldIn is the shared fixpoint: forward over the CFG, out[n] =
+// transfer(in[n]); in[n] = meet over computed predecessor outs (a nil
+// out is "not yet reached" and drops out of the meet, which makes the
+// intersection variant a true must-analysis without a materialized
+// top element).
+func heldIn(g *CFG, ops []LockOp, meet func(a, b LockState) LockState) []LockState {
+	byNode := OpsByNode(ops)
+	in := make([]LockState, len(g.Nodes))
+	out := make([]LockState, len(g.Nodes))
+	in[g.Entry.Index] = LockState{}
+	out[g.Entry.Index] = LockState{}
+	for changed := true; changed; {
+		changed = false
+		for _, nd := range g.Nodes {
+			if nd == g.Entry {
+				continue
+			}
+			var meetState LockState
+			for _, p := range nd.Preds {
+				po := out[p.To.Index]
+				if po == nil {
+					continue
+				}
+				if meetState == nil {
+					meetState = po
+				} else {
+					meetState = meet(meetState, po)
+				}
+			}
+			if meetState == nil {
+				continue // unreachable so far
+			}
+			if in[nd.Index] == nil || !sameState(in[nd.Index], meetState) {
+				in[nd.Index] = meetState
+				newOut := lockTransfer(meetState, byNode[nd])
+				if out[nd.Index] == nil || !sameState(out[nd.Index], newOut) {
+					out[nd.Index] = newOut
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// ---- guarded-by association ---------------------------------------
+
+// SeedError is a malformed `// guards:` comment: a name that is not a
+// sibling field of the annotated mutex.
+type SeedError struct {
+	Pos  token.Pos
+	Name string
+}
+
+// Guards is the package-wide guarded-by association.
+type Guards struct {
+	// Mutexes maps each mutex field to the sibling fields it guards.
+	Mutexes map[*types.Var]map[*types.Var]bool
+	// GuardOf is the inverse: guarded field to its mutex fields,
+	// deterministically ordered.
+	GuardOf map[*types.Var][]*types.Var
+	// Seeded marks associations that came from a `// guards:` comment
+	// rather than inference.
+	Seeded map[*types.Var]bool
+	// BadSeeds lists `// guards:` names that match no sibling field;
+	// lockcheck reports them so a typo cannot silently unprotect a
+	// field.
+	BadSeeds []SeedError
+}
+
+func (gd *Guards) add(mu, field *types.Var) {
+	if gd.Mutexes[mu] == nil {
+		gd.Mutexes[mu] = map[*types.Var]bool{}
+	}
+	if !gd.Mutexes[mu][field] {
+		gd.Mutexes[mu][field] = true
+		gd.GuardOf[field] = append(gd.GuardOf[field], mu)
+	}
+}
+
+// CollectGuards builds the guarded-by association for one package:
+// explicit `// guards:` seeds first, then inference from every method
+// whose receiver type carries a mutex field. See the file comment for
+// the inference rule.
+func CollectGuards(pass *Pass) *Guards {
+	gd := &Guards{
+		Mutexes: map[*types.Var]map[*types.Var]bool{},
+		GuardOf: map[*types.Var][]*types.Var{},
+		Seeded:  map[*types.Var]bool{},
+	}
+	gd.collectSeeds(pass)
+	gd.infer(pass)
+	return gd
+}
+
+// guardsDirective extracts the comma-separated names of a
+// `// guards: a, b` comment, or nil.
+func guardsDirective(fld *ast.Field) []string {
+	var groups []*ast.CommentGroup
+	if fld.Comment != nil {
+		groups = append(groups, fld.Comment)
+	}
+	if fld.Doc != nil {
+		groups = append(groups, fld.Doc)
+	}
+	for _, cg := range groups {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "guards:")
+			if !ok {
+				continue
+			}
+			var names []string
+			for _, n := range strings.Split(rest, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+			return names
+		}
+	}
+	return nil
+}
+
+// collectSeeds walks every struct declaration for annotated mutex
+// fields.
+func (gd *Guards) collectSeeds(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Resolve each named field to its types.Var through Defs.
+			byName := map[string]*types.Var{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						byName[name.Name] = v
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				names := guardsDirective(fld)
+				if names == nil || len(fld.Names) == 0 {
+					continue
+				}
+				mu, ok := pass.TypesInfo.Defs[fld.Names[0]].(*types.Var)
+				if !ok {
+					continue
+				}
+				if _, isMutex := syncMutexType(mu.Type()); !isMutex {
+					continue
+				}
+				for _, name := range names {
+					sib, ok := byName[name]
+					if !ok || sib == mu {
+						gd.BadSeeds = append(gd.BadSeeds, SeedError{Pos: fld.Pos(), Name: name})
+						continue
+					}
+					gd.add(mu, sib)
+					gd.Seeded[sib] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// receiverStruct resolves a method receiver to its named struct type's
+// mutex fields (field object keyed by name), or nil when the receiver
+// type carries none.
+func receiverStruct(fd *ast.FuncDecl, info *types.Info) (recv *types.Var, mutexes map[string]*types.Var, fields map[string]*types.Var) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil, nil, nil
+	}
+	rv, ok := info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	if !ok {
+		return nil, nil, nil
+	}
+	t := rv.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil, nil
+	}
+	mutexes = map[string]*types.Var{}
+	fields = map[string]*types.Var{}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if _, isMutex := syncMutexType(fld.Type()); isMutex {
+			mutexes[fld.Name()] = fld
+		} else {
+			fields[fld.Name()] = fld
+		}
+	}
+	if len(mutexes) == 0 {
+		return nil, nil, nil
+	}
+	return rv, mutexes, fields
+}
+
+// infer scans each method of a mutex-carrying struct: a sibling field
+// accessed at a node where a receiver mutex is definitely held becomes
+// guarded by that mutex.
+func (gd *Guards) infer(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv, mutexes, fields := receiverStruct(fd, pass.TypesInfo)
+			if recv == nil {
+				continue
+			}
+			g := BuildCFG(fd.Body)
+			ops := CollectLockOps(g, pass.TypesInfo)
+			if len(ops) == 0 {
+				continue
+			}
+			must := MustHeldIn(g, ops)
+			byNode := OpsByNode(ops)
+			for _, node := range g.Nodes {
+				state := must[node.Index]
+				if state == nil {
+					continue
+				}
+				var root ast.Node
+				switch {
+				case node.Kind == NodeStmt:
+					root = node.Stmt
+				case node.Kind == NodeCond && node.Cond != nil:
+					root = node.Cond
+				default:
+					continue
+				}
+				ast.Inspect(root, func(n ast.Node) bool {
+					if _, isLit := n.(*ast.FuncLit); isLit {
+						return false
+					}
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					base, ok := sel.X.(*ast.Ident)
+					if !ok || pass.TypesInfo.Uses[base] != recv {
+						return true
+					}
+					fld, ok := fields[sel.Sel.Name]
+					if !ok {
+						return true
+					}
+					at := LockStateAt(state, byNode[node], sel.Pos())
+					for muName, mu := range mutexes {
+						if _, held := at[types.ExprString(base)+"."+muName]; held {
+							gd.add(mu, fld)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// LockStateAt refines a node's entry state to a position inside the
+// node, folding the node's own operations that textually precede pos.
+// A statement that locks and then touches a field sees the lock held.
+func LockStateAt(in LockState, ops []LockOp, pos token.Pos) LockState {
+	s := in
+	for _, op := range ops {
+		if op.Call.Pos() >= pos {
+			break
+		}
+		s = ApplyLockOp(s, op)
+	}
+	return s
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSyncPass parses and typechecks one file that may import
+// sync, keeping comments (the guards directives live there) and using
+// the source importer so no pre-built stdlib export data is needed.
+func typecheckSyncPass(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Pass{ImportPath: "p", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+// fieldVar resolves a struct field object by type and field name.
+func fieldVar(t *testing.T, pass *Pass, typeName, field string) *types.Var {
+	t.Helper()
+	obj := pass.Pkg.Scope().Lookup(typeName)
+	if obj == nil {
+		t.Fatalf("type %s not found", typeName)
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("%s is not a struct", typeName)
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return st.Field(i)
+		}
+	}
+	t.Fatalf("field %s.%s not found", typeName, field)
+	return nil
+}
+
+// funcBody finds a declared function's body by name.
+func funcBody(t *testing.T, pass *Pass, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+const guardsSrc = `package p
+
+import "sync"
+
+type reg struct {
+	mu sync.Mutex // guards: a
+	a  int
+	b  int
+	c  int
+}
+
+// locked teaches inference that mu also guards b.
+func (r *reg) locked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.b = 1
+}
+
+// unlocked touches c without the mutex; c must stay unguarded, or the
+// inference would manufacture violations out of thin air.
+func (r *reg) unlocked() {
+	r.c = 2
+}
+`
+
+func TestCollectGuards(t *testing.T) {
+	pass := typecheckSyncPass(t, guardsSrc)
+	g := CollectGuards(pass)
+	if len(g.BadSeeds) != 0 {
+		t.Fatalf("unexpected bad seeds: %+v", g.BadSeeds)
+	}
+	mu := fieldVar(t, pass, "reg", "mu")
+	a := fieldVar(t, pass, "reg", "a")
+	b := fieldVar(t, pass, "reg", "b")
+	c := fieldVar(t, pass, "reg", "c")
+	if !g.Mutexes[mu][a] || !g.Seeded[a] {
+		t.Errorf("a should be seeded as guarded by mu: mutexes=%v seeded=%v", g.Mutexes[mu][a], g.Seeded[a])
+	}
+	if !g.Mutexes[mu][b] {
+		t.Errorf("b should be inferred as guarded by mu from the locked access")
+	}
+	if g.Seeded[b] {
+		t.Errorf("b's association is inferred, not seeded")
+	}
+	if len(g.GuardOf[c]) != 0 {
+		t.Errorf("c is never accessed under the lock and must stay unguarded, got %v", g.GuardOf[c])
+	}
+}
+
+func TestCollectGuardsBadSeed(t *testing.T) {
+	pass := typecheckSyncPass(t, `package p
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex // guards: zz
+	n  int
+}
+`)
+	g := CollectGuards(pass)
+	if len(g.BadSeeds) != 1 || g.BadSeeds[0].Name != "zz" {
+		t.Fatalf("want one bad seed for zz, got %+v", g.BadSeeds)
+	}
+}
+
+func TestCollectLockOpsDeferred(t *testing.T) {
+	pass := typecheckSyncPass(t, guardsSrc)
+	fd := funcBody(t, pass, "locked")
+	g := BuildCFG(fd.Body)
+	ops := CollectLockOps(g, pass.TypesInfo)
+	if len(ops) != 2 {
+		t.Fatalf("want 2 lock ops, got %d", len(ops))
+	}
+	if ops[0].Method != "Lock" || ops[0].Deferred || ops[0].Key != "r.mu" {
+		t.Errorf("first op should be a direct r.mu.Lock, got %+v", ops[0])
+	}
+	if ops[1].Method != "Unlock" || !ops[1].Deferred {
+		t.Errorf("second op should be the deferred Unlock, got %+v", ops[1])
+	}
+	if kind, ok := ops[0].Acquires(); !ok || kind != HeldExcl {
+		t.Errorf("Lock should acquire exclusively")
+	}
+	if !ops[1].Releases() {
+		t.Errorf("Unlock should release")
+	}
+}
+
+const branchSrc = `package p
+
+import "sync"
+
+func f(mu *sync.Mutex, cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+	}
+	_ = cond
+}
+`
+
+// TestMustMayHeld pins the two dataflow variants apart on a branch
+// that releases on only one arm: at the probe statement the mutex may
+// be held but is not definitely held.
+func TestMustMayHeld(t *testing.T) {
+	pass := typecheckSyncPass(t, branchSrc)
+	fd := funcBody(t, pass, "f")
+	g := BuildCFG(fd.Body)
+	ops := CollectLockOps(g, pass.TypesInfo)
+	must := MustHeldIn(g, ops)
+	may := MayHeldIn(g, ops)
+
+	var probe *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NodeStmt {
+			if as, ok := n.Stmt.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+				if id, isID := as.Lhs[0].(*ast.Ident); isID && id.Name == "_" {
+					probe = n
+				}
+			}
+		}
+	}
+	if probe == nil {
+		t.Fatal("probe statement not found")
+	}
+	if _, held := must[probe.Index]["mu"]; held {
+		t.Errorf("must-held at probe should not contain mu: one path unlocked it")
+	}
+	if kind, held := may[probe.Index]["mu"]; !held || kind != HeldExcl {
+		t.Errorf("may-held at probe should contain mu exclusively, got %v (held=%v)", kind, held)
+	}
+}
+
+func TestApplyLockOpAndStateAt(t *testing.T) {
+	pass := typecheckSyncPass(t, branchSrc)
+	fd := funcBody(t, pass, "f")
+	g := BuildCFG(fd.Body)
+	ops := CollectLockOps(g, pass.TypesInfo)
+	if len(ops) != 2 {
+		t.Fatalf("want 2 ops, got %d", len(ops))
+	}
+	s := ApplyLockOp(LockState{}, ops[0])
+	if s["mu"] != HeldExcl {
+		t.Errorf("after Lock the state should hold mu exclusively, got %v", s)
+	}
+	s = ApplyLockOp(s, ops[1])
+	if _, held := s["mu"]; held {
+		t.Errorf("after Unlock the state should be empty, got %v", s)
+	}
+	// LockStateAt folds only the ops preceding the position: before the
+	// Lock's own call the state is still empty.
+	byNode := OpsByNode(ops)
+	at := LockStateAt(LockState{}, byNode[ops[0].Node], ops[0].Call.Pos())
+	if len(at) != 0 {
+		t.Errorf("state at the Lock call itself should be empty, got %v", at)
+	}
+	after := LockStateAt(LockState{}, byNode[ops[0].Node], ops[0].Call.End()+1)
+	if after["mu"] != HeldExcl {
+		t.Errorf("state just past the Lock call should hold mu, got %v", after)
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+const lifeSrc = `package p
+
+import "sync"
+
+func spawner(wg *sync.WaitGroup, ch chan int) {
+	defer wg.Wait()
+	go func() {
+		ch <- 1
+	}()
+	go spawnee()
+}
+
+func spawnee() {}
+`
+
+func TestCollectLifetime(t *testing.T) {
+	pass := typecheckSyncPass(t, lifeSrc)
+	fd := funcBody(t, pass, "spawner")
+	g := BuildCFG(fd.Body)
+	lt := CollectLifetime(g)
+	if len(lt.Spawns) != 2 {
+		t.Fatalf("want 2 spawns, got %d", len(lt.Spawns))
+	}
+	if lt.Spawns[0].Body == nil {
+		t.Errorf("first spawn launches a literal; Body should be set")
+	}
+	if lt.Spawns[1].Body != nil {
+		t.Errorf("second spawn launches a named function; Body should be nil")
+	}
+	if len(lt.Defers) != 1 {
+		t.Fatalf("want 1 defer, got %d", len(lt.Defers))
+	}
+	recv, method, ok := WaitGroupCall(pass.TypesInfo, lt.Defers[0].Call)
+	if !ok || method != "Wait" {
+		t.Fatalf("deferred call should match WaitGroup.Wait, got ok=%v method=%q", ok, method)
+	}
+	if id, isID := recv.(*ast.Ident); !isID || id.Name != "wg" {
+		t.Errorf("WaitGroupCall receiver should be wg, got %v", recv)
+	}
+}
+
+func TestWaitGroupCallRejectsOthers(t *testing.T) {
+	pass := typecheckSyncPass(t, lifeSrc)
+	fd := funcBody(t, pass, "spawner")
+	// The second go statement calls spawnee(): same shape, wrong type.
+	var call *ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if _, isLit := g.Call.Fun.(*ast.FuncLit); !isLit {
+				call = g.Call
+			}
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("named-function spawn not found")
+	}
+	if _, _, ok := WaitGroupCall(pass.TypesInfo, call); ok {
+		t.Errorf("a plain function call must not match WaitGroupCall")
+	}
+}
+
+func TestIsChanType(t *testing.T) {
+	pass := typecheckSyncPass(t, lifeSrc)
+	fn := pass.Pkg.Scope().Lookup("spawner")
+	sig := fn.Type().(*types.Signature)
+	wg := sig.Params().At(0).Type()
+	ch := sig.Params().At(1).Type()
+	if IsChanType(wg) {
+		t.Errorf("*sync.WaitGroup is not a channel")
+	}
+	if !IsChanType(ch) {
+		t.Errorf("chan int should satisfy IsChanType")
+	}
+}

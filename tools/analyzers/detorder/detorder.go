@@ -1,0 +1,250 @@
+// Package detorder enforces deterministic output order in the
+// packages that promise it: the simulator reporting layer
+// (internal/hetsim), the observability layer (internal/obs), the sweep
+// engine (internal/experiments), and the CLI (cmd/abftchol). The
+// differential test battery asserts byte-identical text/CSV/JSON at
+// -parallel 1 and -parallel N, and the golden-output tests assert
+// byte-identical runs across processes; Go map iteration order is
+// randomized per run, so a `range` over a map flowing into any emit
+// sink is a reproducibility bug that surfaces only occasionally —
+// precisely the failure mode static checking beats testing on.
+//
+// Three checks per file:
+//
+//   - a range over a map must not feed an emit sink (fmt printing, an
+//     encoder, a writer) inside the loop body, and must not append to
+//     an accumulator declared outside the loop unless the function
+//     sorts that accumulator; iterate sorted keys instead;
+//   - the detsim clock/randomness rules (time.Now, global math/rand,
+//     crypto/rand) apply here too, via detsim.CheckFile — this is the
+//     half of detsim these packages used to carry;
+//   - pointer formatting (%p) is banned: addresses differ per run, so
+//     a %p in rendered output breaks byte-identity the same way map
+//     order does.
+//
+// Accumulating into another map, summing into a scalar, and appends
+// whose target is declared inside the loop body are all order-
+// insensitive and allowed. _test.go files are exempt — tests may
+// legitimately range maps into t.Logf.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"abftchol/tools/analyzers/analysis"
+	"abftchol/tools/analyzers/detsim"
+)
+
+// Doc explains the analyzer; it is also the driver help text.
+const Doc = "forbid map iteration order from reaching emitted output (range over map into a print/encode/append sink without a sort), wall-clock and unseeded randomness, and %p pointer formatting in the deterministic-output packages"
+
+// Analyzer implements the pass.
+var Analyzer = &analysis.Analyzer{
+	Name:  "detorder",
+	Doc:   Doc,
+	Scope: "internal/obs, internal/experiments, internal/hetsim, cmd/abftchol",
+	AppliesTo: analysis.PathIn(
+		"abftchol/internal/obs",
+		"abftchol/internal/experiments",
+		"abftchol/internal/hetsim",
+		"abftchol/cmd/abftchol",
+	),
+	Run: run,
+}
+
+// emitMethods are method names that move bytes toward output; calling
+// one inside a map-range body stamps iteration order into the stream.
+var emitMethods = map[string]bool{
+	"Encode": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if name := pass.Fset.Position(f.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		detsim.CheckFile(pass, f)
+		checkPointerFormat(pass, f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd)
+		}
+	}
+	return nil
+}
+
+// ---- map-range order -------------------------------------------------
+
+func checkMapRanges(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, has := info.Types[rng.X]
+		if !has || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkRangeBody(pass, fd, rng)
+		return true
+	})
+}
+
+// checkRangeBody scans one map-range body for order-sensitive sinks.
+func checkRangeBody(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isEmitCall(info, n) {
+				pass.Reportf(n.Pos(), "emit inside a range over a map: iteration order is randomized per run, so this output is not reproducible; collect and sort the keys first")
+				return true
+			}
+			if id, isID := n.Fun.(*ast.Ident); isID && id.Name == "append" && len(n.Args) >= 1 {
+				checkAppend(pass, fd, rng, n)
+			}
+		}
+		return true
+	})
+}
+
+// isEmitCall reports whether call moves data toward output: any fmt
+// package function, or a method whose name marks an encoder/writer.
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		if pkg, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return pkg.Imported().Path() == "fmt"
+		}
+	}
+	return emitMethods[sel.Sel.Name]
+}
+
+// checkAppend flags append to an accumulator declared outside the
+// range statement unless the function later sorts that accumulator.
+// Per-iteration locals are fine (their order dies with the iteration),
+// and a sorted accumulator launders the map order away.
+func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return // declared inside the loop; order dies each iteration
+	}
+	if functionSorts(info, fd, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s inside a range over a map without a sort anywhere in %s; the slice order changes run to run — sort %s (or iterate sorted keys)", id.Name, fd.Name.Name, id.Name)
+}
+
+// functionSorts reports whether fd contains a sort or slices package
+// call whose arguments mention obj. Deliberately flow-insensitive: a
+// conditional `if len(xs) > 0 { sort.Strings(xs) }` still launders the
+// order, and demanding post-dominance would flag it spuriously.
+func functionSorts(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkg.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if mid, isID := m.(*ast.Ident); isID && info.Uses[mid] == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ---- pointer formatting ---------------------------------------------
+
+// checkPointerFormat flags %p in constant format strings of fmt calls:
+// addresses are per-run values, so a %p in output breaks byte-identity.
+func checkPointerFormat(pass *analysis.Pass, f *ast.File) {
+	info := pass.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := info.Uses[id].(*types.PkgName)
+		if !ok || pkg.Imported().Path() != "fmt" {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, isLit := ast.Unparen(arg).(*ast.BasicLit)
+			if !isLit || lit.Kind.String() != "STRING" {
+				continue
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				continue
+			}
+			if strings.Contains(s, "%p") {
+				pass.Reportf(lit.Pos(), "%%p formats a pointer address, which differs every run; print a stable identifier instead")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,19 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, detorder.Analyzer, "testdata/src/detordertest",
+		analysistest.ImportAs("abftchol/internal/obs"))
+}
+
+// TestDetorderScope loads map-order emission under an import path
+// outside the deterministic-output packages; no diagnostics may fire.
+func TestDetorderScope(t *testing.T) {
+	analysistest.Run(t, detorder.Analyzer, "testdata/src/unscoped")
+}

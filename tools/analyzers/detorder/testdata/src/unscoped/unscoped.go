@@ -1,0 +1,14 @@
+// Package unscoped emits in map order under an import path outside
+// detorder's scope; no diagnostics may fire.
+package unscoped
+
+import (
+	"fmt"
+	"io"
+)
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

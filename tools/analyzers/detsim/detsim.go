@@ -1,16 +1,17 @@
 // Package detsim flags non-deterministic inputs — wall-clock reads and
-// unseeded randomness — inside the packages where bit-reproducibility
-// is load-bearing: the heterogeneous-platform simulator
-// (internal/hetsim), the ABFT executor (internal/core), the fault
-// injector (internal/fault), the observability layer (internal/obs),
-// and the sweep engine (internal/experiments). Trace replay, fault
-// campaigns, byte-identical metrics snapshots, the real-vs-model
-// plane agreement tests, and the parallel sweep scheduler's
-// serial-equals-parallel contract all assume that the same seed
-// reproduces the same run bit for bit; one time.Now or global
-// math/rand call silently breaks every one of those guarantees. The
-// only sanctioned randomness is a seeded *rand.Rand threaded through
-// explicitly, and the only sanctioned clock is the simulator's own.
+// unseeded randomness — inside the simulator's numeric core: the ABFT
+// executor (internal/core) and the fault injector (internal/fault).
+// Trace replay, fault campaigns, and the real-vs-model plane agreement
+// tests all assume that the same seed reproduces the same run bit for
+// bit; one time.Now or global math/rand call silently breaks every one
+// of those guarantees. The only sanctioned randomness is a seeded
+// *rand.Rand threaded through explicitly, and the only sanctioned
+// clock is the simulator's own.
+//
+// The output-facing packages (internal/hetsim, internal/obs,
+// internal/experiments, cmd/abftchol) get the same clock/randomness
+// checks — plus map-iteration-order and pointer-formatting checks —
+// from the detorder analyzer, which calls CheckFile below.
 package detsim
 
 import (
@@ -21,7 +22,7 @@ import (
 )
 
 // Doc explains the analyzer; it is also the driver help text.
-const Doc = "forbid wall-clock time and unseeded randomness in the deterministic simulator packages"
+const Doc = "forbid wall-clock time and unseeded randomness in the deterministic numeric core (output-facing packages are covered by detorder)"
 
 // wallClock lists the time-package functions that read the machine's
 // clock or schedule against it. time.Duration arithmetic and constants
@@ -45,52 +46,57 @@ var seededConstructors = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name:  "detsim",
 	Doc:   Doc,
-	Scope: "internal/hetsim, internal/core, internal/fault, internal/obs, internal/experiments",
+	Scope: "internal/core, internal/fault",
 	AppliesTo: analysis.PathIn(
-		"abftchol/internal/hetsim",
 		"abftchol/internal/core",
 		"abftchol/internal/fault",
-		"abftchol/internal/obs",
-		"abftchol/internal/experiments",
 	),
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
-		for _, imp := range f.Imports {
-			if imp.Path.Value == `"crypto/rand"` {
-				pass.Reportf(imp.Pos(), "crypto/rand is non-deterministic and forbidden here; thread a seeded *math/rand.Rand through instead")
-			}
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			ident, ok := sel.X.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
-			if !ok {
-				return true
-			}
-			switch pkgName.Imported().Path() {
-			case "time":
-				if wallClock[sel.Sel.Name] {
-					pass.Reportf(sel.Pos(), "time.%s reads the wall clock and breaks deterministic replay; use the simulated clock threaded through the run", sel.Sel.Name)
-				}
-			case "math/rand", "math/rand/v2":
-				// Only package-level functions draw from the hidden
-				// global source; types (rand.Rand, rand.Source) and
-				// methods on a seeded generator are the sanctioned path.
-				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !seededConstructors[sel.Sel.Name] {
-					pass.Reportf(sel.Pos(), "global rand.%s draws from the unseeded process-wide source; thread a seeded *rand.Rand through instead", sel.Sel.Name)
-				}
-			}
-			return true
-		})
+		CheckFile(pass, f)
 	}
 	return nil
+}
+
+// CheckFile reports every non-deterministic input in one file:
+// crypto/rand imports, wall-clock reads, and global math/rand draws.
+// Exported so detorder can apply the identical checks to the
+// output-facing packages outside this analyzer's scope.
+func CheckFile(pass *analysis.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"crypto/rand"` {
+			pass.Reportf(imp.Pos(), "crypto/rand is non-deterministic and forbidden here; thread a seeded *math/rand.Rand through instead")
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "time":
+			if wallClock[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock and breaks deterministic replay; use the simulated clock threaded through the run", sel.Sel.Name)
+			}
+		case "math/rand", "math/rand/v2":
+			// Only package-level functions draw from the hidden
+			// global source; types (rand.Rand, rand.Source) and
+			// methods on a seeded generator are the sanctioned path.
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !seededConstructors[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "global rand.%s draws from the unseeded process-wide source; thread a seeded *rand.Rand through instead", sel.Sel.Name)
+			}
+		}
+		return true
+	})
 }

@@ -9,7 +9,7 @@ import (
 
 func TestDetsim(t *testing.T) {
 	analysistest.Run(t, detsim.Analyzer, "testdata/src/detsimtest",
-		analysistest.ImportAs("abftchol/internal/hetsim"))
+		analysistest.ImportAs("abftchol/internal/core"))
 }
 
 // TestDetsimScope loads wall-clock code under an import path outside

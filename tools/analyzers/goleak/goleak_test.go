@@ -1,0 +1,19 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, goleak.Analyzer, "testdata/src/goleaktest",
+		analysistest.ImportAs("abftchol/internal/experiments"))
+}
+
+// TestGoleakScope loads a leaked goroutine under an import path
+// outside the concurrent packages; no diagnostics may fire.
+func TestGoleakScope(t *testing.T) {
+	analysistest.Run(t, goleak.Analyzer, "testdata/src/unscoped")
+}

@@ -1,0 +1,11 @@
+// Package unscoped leaks a goroutine under an import path outside
+// goleak's scope; no diagnostics may fire.
+package unscoped
+
+func leak(xs []int) {
+	for _, x := range xs {
+		go func(x int) {
+			_ = x * x
+		}(x)
+	}
+}

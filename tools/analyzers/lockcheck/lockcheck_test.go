@@ -1,0 +1,19 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "testdata/src/lockchecktest",
+		analysistest.ImportAs("abftchol/internal/obs"))
+}
+
+// TestLockcheckScope loads lock-discipline violations under an import
+// path outside the guarded packages; no diagnostics may fire.
+func TestLockcheckScope(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "testdata/src/unscoped")
+}

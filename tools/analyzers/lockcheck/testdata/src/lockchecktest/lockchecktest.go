@@ -1,0 +1,195 @@
+// Package lockchecktest exercises the lockcheck analyzer: seeded and
+// inferred guarded-by associations, lock-pairing discipline, the
+// zero-trip loop edge, lock copying, and the //nolint escape.
+package lockchecktest
+
+import "sync"
+
+// Counter's mutex is explicitly seeded: mu guards n and m, while
+// label is a set-once configuration knob outside the association.
+type Counter struct {
+	mu    sync.Mutex // guards: n, m
+	n     int
+	m     map[string]int
+	label string
+}
+
+// newCounter initializes fields without the lock: the value is local
+// until returned, so no other goroutine can observe it yet.
+func newCounter() *Counter {
+	c := &Counter{m: make(map[string]int)}
+	c.n = 1
+	c.m["seed"] = 1
+	return c
+}
+
+// bump is the disciplined path.
+func (c *Counter) bump(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.m[k]++
+}
+
+// setLabel touches only the unguarded field; nothing to hold.
+func (c *Counter) setLabel(s string) {
+	c.label = s
+}
+
+func (c *Counter) badRead() int {
+	return c.n // want "read of c.n without holding c.mu"
+}
+
+func (c *Counter) badWrite(v int) {
+	c.n = v // want "write to c.n without holding c.mu"
+}
+
+// doubleLock would deadlock at the second acquisition.
+func (c *Counter) doubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want "Lock while c.mu is already held"
+	c.n++
+}
+
+// unlockFirst releases a mutex nothing locked.
+func (c *Counter) unlockFirst() {
+	c.mu.Unlock() // want "releases a mutex no path has locked"
+}
+
+// leaky holds the lock across the early-return path.
+func (c *Counter) leaky(flag bool) {
+	c.mu.Lock() // want "not matched by an unlock on every path"
+	c.n++
+	if flag {
+		return
+	}
+	c.mu.Unlock()
+}
+
+// acquireInLoop only locks when the slice is non-empty: the zero-trip
+// edge reaches the read with no lock held, and no path unlocks.
+func (c *Counter) acquireInLoop(xs []int) int {
+	for range xs {
+		c.mu.Lock() // want "not matched by an unlock on every path"
+	}
+	return c.n // want "read of c.n without holding c.mu"
+}
+
+// perIteration is the sound version of locking inside a loop; the
+// trailing read still races, and the diagnostic survives the loop's
+// zero-trip edge in the must-held meet.
+func (c *Counter) perIteration(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		c.mu.Lock()
+		total += c.n * x
+		c.mu.Unlock()
+	}
+	return total + c.n // want "read of c.n without holding c.mu"
+}
+
+// escaped exercises the sanctioned suppression: a deliberate dirty
+// read carrying a justified nolint produces no finding.
+func (c *Counter) escaped() int {
+	return c.n //nolint:lockcheck — approximate progress display tolerates a torn read
+}
+
+// Table pairs an RWMutex with its rows: reads may hold either lock
+// mode, writes need the exclusive one.
+type Table struct {
+	rw   sync.RWMutex // guards: rows
+	rows map[string]int
+}
+
+// lookup reads under the shared lock.
+func (t *Table) lookup(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+// insert writes under the exclusive lock.
+func (t *Table) insert(k string) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.rows[k] = 1
+}
+
+// badInsert writes under a read lock: concurrent RLock holders would
+// observe the write mid-flight.
+func (t *Table) badInsert(k string) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.rows[k] = 1 // want "under a read lock"
+}
+
+// pool carries no guards comment; the association mu→free is inferred
+// from get's locked accesses.
+type pool struct {
+	mu   sync.Mutex
+	free []int
+}
+
+// get accesses free under the lock, teaching the analyzer that mu
+// guards free.
+func (p *pool) get() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	v := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return v, true
+}
+
+// steal skips the lock every other method of the type honours.
+func (p *pool) steal() []int {
+	return p.free // want "read of p.free without holding p.mu"
+}
+
+// badSeed's directive names a field that does not exist; the typo is
+// reported instead of silently guarding nothing.
+type badSeed struct {
+	// guards: ghost
+	mu sync.Mutex // want "names \"ghost\", which is not a sibling field"
+	n  int
+}
+
+// lockSeed keeps badSeed's fields referenced so the fixture stays an
+// honest compilable package.
+func lockSeed(b *badSeed) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// box exists for the copy checks; v is deliberately never accessed
+// under the lock so no guard is inferred for it.
+type box struct {
+	mu sync.Mutex
+	v  int
+}
+
+// copyBox copies the mutex along with the value.
+func copyBox(b *box) int {
+	d := *b // want "assignment copies a mutex-bearing value"
+	return d.v
+}
+
+// valueMethod copies its receiver — and therefore its mutex — on
+// every call.
+func (b box) valueMethod() int { // want "copies its mutex-bearing receiver"
+	return b.v
+}
+
+func takeBox(b *box) {}
+
+// passByValue hands the callee a disconnected copy of the lock.
+func passByValue(b *box) {
+	useBox(*b) // want "passes a mutex-bearing value by value"
+	takeBox(b)
+}
+
+func useBox(box) {}

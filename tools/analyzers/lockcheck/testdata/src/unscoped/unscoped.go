@@ -1,0 +1,19 @@
+// Package unscoped holds lock-discipline violations under an import
+// path outside lockcheck's scope; no diagnostics may fire.
+package unscoped
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex // guards: n
+	n  int
+}
+
+func (c *counter) dirtyRead() int {
+	return c.n
+}
+
+func (c *counter) leaky() {
+	c.mu.Lock()
+	c.n++
+}

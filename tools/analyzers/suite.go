@@ -7,24 +7,39 @@
 package analyzers
 
 import (
+	"sort"
+
 	"abftchol/tools/analyzers/analysis"
+	"abftchol/tools/analyzers/detorder"
 	"abftchol/tools/analyzers/detsim"
 	"abftchol/tools/analyzers/floateq"
+	"abftchol/tools/analyzers/goleak"
 	"abftchol/tools/analyzers/injectortick"
+	"abftchol/tools/analyzers/lockcheck"
 	"abftchol/tools/analyzers/matindex"
 	"abftchol/tools/analyzers/nakedgoroutine"
 	"abftchol/tools/analyzers/streamsync"
 	"abftchol/tools/analyzers/verifyread"
 )
 
-// Suite lists every analyzer the abftlint driver runs, in the order
-// findings are attributed.
+// Suite lists every analyzer the abftlint driver runs. The order is
+// load-bearing — it fixes the sequence of findings in -json output and
+// therefore the CI artifact — so registration is normalized to name
+// order at init and pinned by a drift test, keeping the artifact
+// stable as analyzers are added.
 var Suite = []*analysis.Analyzer{
+	detorder.Analyzer,
 	detsim.Analyzer,
 	floateq.Analyzer,
+	goleak.Analyzer,
 	injectortick.Analyzer,
+	lockcheck.Analyzer,
 	matindex.Analyzer,
 	nakedgoroutine.Analyzer,
 	streamsync.Analyzer,
 	verifyread.Analyzer,
+}
+
+func init() {
+	sort.Slice(Suite, func(i, j int) bool { return Suite[i].Name < Suite[j].Name })
 }

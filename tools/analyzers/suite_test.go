@@ -2,6 +2,7 @@ package analyzers_test
 
 import (
 	"os"
+	"sort"
 	"strings"
 	"testing"
 
@@ -24,6 +25,22 @@ func TestSuiteWellFormed(t *testing.T) {
 			t.Errorf("duplicate analyzer name %s; //nolint:%s would be ambiguous", a.Name, a.Name)
 		}
 		seen[a.Name] = true
+	}
+}
+
+// TestSuiteSorted pins the registration order to name order. The
+// order is load-bearing: -json findings (and the CI artifact built
+// from them) follow it, so an unsorted registration would reorder
+// existing artifacts every time an analyzer is added.
+func TestSuiteSorted(t *testing.T) {
+	if !sort.SliceIsSorted(analyzers.Suite, func(i, j int) bool {
+		return analyzers.Suite[i].Name < analyzers.Suite[j].Name
+	}) {
+		names := make([]string, len(analyzers.Suite))
+		for i, a := range analyzers.Suite {
+			names[i] = a.Name
+		}
+		t.Fatalf("Suite is not sorted by name: %v; registration order feeds -json output and must stay stable", names)
 	}
 }
 

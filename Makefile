@@ -37,7 +37,7 @@ lint:
 # this when adding an analyzer to keep them honest.
 lint-bench:
 	mkdir -p artifacts
-	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkSuite' -benchmem \
+	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkSuite|BenchmarkSummaries' -benchmem \
 		./tools/analyzers/analysis | tee artifacts/lint-bench.txt
 
 # Rewrite files in place to satisfy the formatting gate.

@@ -86,6 +86,17 @@ func load(patterns []string) []*analysis.Package {
 	return pkgs
 }
 
+// jsonHeader is the first line of -json output: it names the suite
+// revision that produced the findings, so CI artifact diffs can tell
+// a changed tree from a changed toolchain. Findings follow, one
+// object per line, sorted by (file, line, column, analyzer) — the
+// order is deterministic regardless of package load order.
+type jsonHeader struct {
+	Suite     string `json:"suite"`
+	Version   string `json:"version"`
+	Analyzers int    `json:"analyzers"`
+}
+
 // jsonFinding is the one-line-per-diagnostic wire format of -json.
 type jsonFinding struct {
 	Analyzer   string `json:"analyzer"`
@@ -108,6 +119,13 @@ func run(out io.Writer, patterns []string, asJSON bool) int {
 	}
 	active := 0
 	enc := json.NewEncoder(out)
+	if asJSON {
+		enc.Encode(jsonHeader{
+			Suite:     "abftlint",
+			Version:   analyzers.Version,
+			Analyzers: len(analyzers.Suite),
+		})
+	}
 	for _, f := range findings {
 		if !f.Suppressed {
 			active++

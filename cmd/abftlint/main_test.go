@@ -7,6 +7,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"abftchol/tools/analyzers"
 )
 
 // TestRepositoryIsClean runs the whole suite over the module exactly
@@ -34,9 +36,10 @@ func TestSelfLint(t *testing.T) {
 }
 
 // TestJSONOutput checks the -json mode on the analyzer testdata trees:
-// every line must be a well-formed diagnostic object, and the
-// deliberately suppressed findings must appear marked rather than
-// vanish.
+// the first line must identify the suite revision, every following
+// line must be a well-formed diagnostic object in (file, line, column,
+// analyzer) order, and the deliberately suppressed findings must
+// appear marked rather than vanish.
 func TestJSONOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks testdata packages")
@@ -50,6 +53,17 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("abftlint -json exited %d on the repository", code)
 	}
 	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	if !sc.Scan() {
+		t.Fatal("-json emitted no output; want a suite header line")
+	}
+	var hdr jsonHeader
+	if err := json.Unmarshal([]byte(sc.Text()), &hdr); err != nil {
+		t.Fatalf("-json first line is not JSON: %q: %v", sc.Text(), err)
+	}
+	if hdr.Suite != "abftlint" || hdr.Version != analyzers.Version || hdr.Analyzers != len(analyzers.Suite) {
+		t.Fatalf("-json header = %+v, want suite abftlint version %s with %d analyzers", hdr, analyzers.Version, len(analyzers.Suite))
+	}
+	var prev *jsonFinding
 	for sc.Scan() {
 		line := sc.Text()
 		var f jsonFinding
@@ -62,15 +76,36 @@ func TestJSONOutput(t *testing.T) {
 		if !f.Suppressed {
 			t.Errorf("repository is clean yet -json emitted an unsuppressed finding: %q", line)
 		}
+		if prev != nil && findingLess(&f, prev) {
+			t.Errorf("-json diagnostics out of (file, line, column, analyzer) order: %s:%d:%d [%s] after %s:%d:%d [%s]",
+				f.File, f.Line, f.Column, f.Analyzer, prev.File, prev.Line, prev.Column, prev.Analyzer)
+		}
+		g := f
+		prev = &g
 	}
 }
 
+// findingLess is the CI artifact order: (file, line, column, analyzer).
+func findingLess(a, b *jsonFinding) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Column != b.Column {
+		return a.Column < b.Column
+	}
+	return a.Analyzer < b.Analyzer
+}
+
 // TestDriverOnSeededBugs points the driver at a self-contained fixture
-// module carrying one seeded bug per concurrency/determinism analyzer
-// — an unguarded write to a guarded field (lockcheck), a leaked worker
-// goroutine (goleak), and a map-range streamed into a JSON encoder
-// (detorder) — and asserts the end-to-end pipeline (loader, suite,
-// driver formatting, exit code) reports all three.
+// module carrying one seeded bug per guarded invariant — an unguarded
+// write to a guarded field (lockcheck), a leaked worker goroutine
+// (goleak), a map-range streamed into a JSON encoder (detorder), and a
+// driver whose TRSM checksum update went missing (chkflow) — and
+// asserts the end-to-end pipeline (loader, suite, driver formatting,
+// exit code) reports all of them.
 func TestDriverOnSeededBugs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the fixture module")
@@ -92,7 +127,7 @@ func TestDriverOnSeededBugs(t *testing.T) {
 		t.Fatalf("driver exited %d on the seeded-bug module, want 1; output:\n%s", code, sb.String())
 	}
 	out := sb.String()
-	for _, want := range []string{"[lockcheck]", "[goleak]", "[detorder]"} {
+	for _, want := range []string{"[lockcheck]", "[goleak]", "[detorder]", "[chkflow]"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("driver output carries no %s finding on the seeded bug:\n%s", want, out)
 		}

@@ -1,0 +1,15 @@
+// Package checksum is a miniature of the real encode/update surface.
+package checksum
+
+import "abftchol/internal/mat"
+
+// EncodeMatrixMulti builds the m-vector column checksums of a.
+func EncodeMatrixMulti(a *mat.Matrix, b, m int) *mat.Matrix {
+	return mat.New(m*(a.Rows/b), a.Cols)
+}
+
+// UpdatePOTF2 rebuilds a diagonal block's checksum after POTF2.
+func UpdatePOTF2(chk, la *mat.Matrix) {}
+
+// UpdateTRSM maintains a panel's checksums through the TRSM solve.
+func UpdateTRSM(chk, l *mat.Matrix) {}

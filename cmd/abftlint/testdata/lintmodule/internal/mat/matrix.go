@@ -1,0 +1,22 @@
+// Package mat is a miniature of the real matrix container, just deep
+// enough for the seeded-bug module to type-check.
+package mat
+
+// Matrix is a strided row-major view.
+type Matrix struct {
+	Rows, Cols, Stride int
+	Data               []float64
+}
+
+// New allocates a dense matrix.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: make([]float64, rows*cols)}
+}
+
+// Off returns the slice starting at element (i, j).
+func (m *Matrix) Off(i, j int) []float64 { return m.Data[i*m.Stride+j:] }
+
+// View returns an r x c window rooted at (i, j) sharing storage.
+func (m *Matrix) View(i, j, r, c int) *Matrix {
+	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Off(i, j)}
+}

@@ -92,6 +92,8 @@ func Run(o Options) (Result, error) {
 //	Online:   encode; update; verify every block right after updating.
 //	Enhanced: encode; update; verify every block right before reading
 //	          (GEMM/TRSM inputs only every K-th iteration, Opt 3).
+//
+// abft:protocol driver steps=syrk,gemm,potf2,trsm
 func (e *exec) runOnce() error {
 	sch := e.opts.Scheme
 	ft := sch.FaultTolerant()

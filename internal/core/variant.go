@@ -50,6 +50,8 @@ func (v Variant) String() string {
 // verifies right before reads (diagonal before POTF2, panel and L
 // before TRSM, panel plus the whole trailing submatrix before the
 // update, gated by K where §V-C allows).
+//
+// abft:protocol driver steps=potf2,trsm,trailingUpdate
 func (e *exec) runOnceRight() error {
 	sch := e.opts.Scheme
 	ft := sch.FaultTolerant()

@@ -1,0 +1,15 @@
+package chkflow_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/chkflow"
+)
+
+// TestChkflow runs the analyzer over the miniature executor package,
+// loaded under an internal/core child path so AppliesTo admits it.
+func TestChkflow(t *testing.T) {
+	analysistest.Run(t, chkflow.Analyzer, "testdata/src/chkflowtest",
+		analysistest.ImportAs("abftchol/internal/core/chkflowtest"))
+}

@@ -40,10 +40,11 @@ const Doc = "require every go statement to have a join point reachable on all ex
 var Analyzer = &analysis.Analyzer{
 	Name:  "goleak",
 	Doc:   Doc,
-	Scope: "internal/experiments, internal/blas",
+	Scope: "internal/experiments, internal/blas, internal/checksum",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/experiments",
 		"abftchol/internal/blas",
+		"abftchol/internal/checksum",
 	),
 	Run: run,
 }

@@ -48,10 +48,12 @@ const Doc = "require guarded struct fields (seeded by // guards: comments, infer
 var Analyzer = &analysis.Analyzer{
 	Name:  "lockcheck",
 	Doc:   Doc,
-	Scope: "internal/obs, internal/experiments",
+	Scope: "internal/obs, internal/experiments, internal/checksum, internal/blas",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/obs",
 		"abftchol/internal/experiments",
+		"abftchol/internal/checksum",
+		"abftchol/internal/blas",
 	),
 	Run: run,
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"abftchol/tools/analyzers/analysis"
+	"abftchol/tools/analyzers/chkflow"
 	"abftchol/tools/analyzers/detorder"
 	"abftchol/tools/analyzers/detsim"
 	"abftchol/tools/analyzers/floateq"
@@ -22,12 +23,19 @@ import (
 	"abftchol/tools/analyzers/verifyread"
 )
 
+// Version identifies the suite revision in machine-readable output
+// (abftlint -json emits it in the header line). Bump it whenever the
+// analyzer set, a diagnostic format, or the JSON wire format changes,
+// so CI artifact consumers can detect incomparable runs.
+const Version = "0.6.0"
+
 // Suite lists every analyzer the abftlint driver runs. The order is
 // load-bearing — it fixes the sequence of findings in -json output and
 // therefore the CI artifact — so registration is normalized to name
 // order at init and pinned by a drift test, keeping the artifact
 // stable as analyzers are added.
 var Suite = []*analysis.Analyzer{
+	chkflow.Analyzer,
 	detorder.Analyzer,
 	detsim.Analyzer,
 	floateq.Analyzer,

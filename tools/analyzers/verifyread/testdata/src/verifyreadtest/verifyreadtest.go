@@ -5,6 +5,13 @@ package verifyreadtest
 
 import "abftchol/internal/core"
 
+// The analyzer takes its protocol from annotations in the package
+// under check; this miniature package declares the same disciplines
+// the real core does for its two online schemes.
+//
+// abft:protocol scheme SchemeOnline ft verify=post-write
+// abft:protocol scheme SchemeEnhanced ft verify=pre-read
+
 type hexec struct {
 	sch core.Scheme
 	k   int
@@ -22,6 +29,8 @@ func (e *hexec) updTRSM(j int)                      {}
 
 // runOnce follows the discipline everywhere except the final TRSM,
 // which Online-ABFT requires a post-write verification for.
+//
+// abft:protocol driver steps=syrk,gemm,potf2,trsm
 func (e *hexec) runOnce() error {
 	sch := e.sch
 	ft := sch.FaultTolerant()
@@ -71,6 +80,8 @@ func (e *hexec) runOnce() error {
 // runOnceRight never verifies before reads, so every step violates the
 // Enhanced pre-read discipline; the trailing update additionally skips
 // its post-write verification and demonstrates the escape hatch.
+//
+// abft:protocol driver steps=potf2,trsm,trailingUpdate
 func (e *hexec) runOnceRight() error {
 	sch := e.sch
 	ft := sch.FaultTolerant()

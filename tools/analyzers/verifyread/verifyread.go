@@ -8,19 +8,25 @@
 // coverage the paper's recovery argument depends on, and nothing
 // crashes: fault-campaign numbers just quietly degrade.
 //
-// The analyzer encodes the discipline as a per-variant protocol table
-// (which driver functions exist, which step methods they must guard)
-// and checks each scheme by specializing the driver's CFG to it: the
-// branch conditions `sch == SchemeX`, `sch.FaultTolerant()`, and the
-// locals derived from them are resolved under the assumed scheme, the
-// K-gate (`j%K == 0`) and iteration-progress guards (`j > 0`) are
-// granted, and then
+// The discipline is declared by the drivers themselves through
+// `// abft:protocol` annotations (see docs/LINTING.md): each driver
+// function lists its protected step methods, and each Scheme constant
+// declares its verification discipline. The analyzer checks each
+// declared scheme by specializing the driver's CFG to it — the branch
+// conditions `sch == SchemeX`, `sch.FaultTolerant()`, and the locals
+// derived from them are resolved under the assumed scheme, the K-gate
+// (`j%K == 0`) and iteration-progress guards (`j > 0`) are granted —
+// and then
 //
-//   - under SchemeEnhanced every protocol step must be dominated by a
-//     verifyBlocks call (pre-read verification), and
-//   - under SchemeOnline no protocol step may reach the function exit
-//     without passing a verifyBlocks call or an error return
-//     (post-write verification).
+//   - under a verify=pre-read scheme (Enhanced) every protocol step
+//     must be dominated by a verifyBlocks call, and
+//   - under a verify=post-write scheme (Online) no protocol step may
+//     reach the function exit without passing a verifyBlocks call or
+//     an error return.
+//
+// Schemes declaring verify=scrubbed, verify=final, or verify=none
+// place no static ordering obligation here: the scrub and offline
+// disciplines are enforced dynamically by the experiments.
 package verifyread
 
 import (
@@ -38,27 +44,6 @@ const corePath = "abftchol/internal/core"
 // verifierName is the method whose call satisfies the discipline.
 const verifierName = "verifyBlocks"
 
-// protocol lists, per driver function, the step methods whose launches
-// consume or produce blocks on the fault-tolerant path and therefore
-// fall under the verification discipline.
-var protocol = map[string][]string{
-	"runOnce":      {"syrk", "gemm", "potf2", "trsm"},
-	"runOnceRight": {"potf2", "trsm", "trailingUpdate"},
-}
-
-// spec is one protocol specialization: the scheme constant assumed
-// true and the direction of the discipline it imposes.
-type spec struct {
-	scheme  string // Scheme constant name, e.g. "SchemeEnhanced"
-	ft      bool   // value of Scheme.FaultTolerant() under this scheme
-	preRead bool   // verify-before-read (Enhanced) vs verify-after-write
-}
-
-var specs = []spec{
-	{scheme: "SchemeEnhanced", ft: true, preRead: true},
-	{scheme: "SchemeOnline", ft: true, preRead: false},
-}
-
 // Analyzer implements the pass.
 var Analyzer = &analysis.Analyzer{
 	Name:      "verifyread",
@@ -69,31 +54,87 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	found := map[string]bool{}
+	protocol := analysis.ParseProtocol(pass.Files)
+	for _, e := range protocol.Errors {
+		pass.Report(e)
+	}
+
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			steps, ok := protocol[fd.Name.Name]
+			spec, ok := protocol.Driver(fd.Name.Name)
 			if !ok {
 				continue
 			}
-			found[fd.Name.Name] = true
-			checkDriver(pass, fd, steps)
+			checkDriver(pass, protocol, fd, spec.Steps)
 		}
 	}
-	// Table drift: the real core package must declare every driver the
-	// table names, or the table (and this analyzer) is checking air.
+	// Annotation drift: the real core package must declare its protocol,
+	// or the analyzer is checking air; and scheme directives must stay
+	// in one-to-one correspondence with the Scheme constants.
 	if pass.ImportPath == corePath && pass.Pkg != nil && pass.Pkg.Name() == "core" {
-		for name := range protocol {
-			if !found[name] {
-				pass.Reportf(pass.Files[0].Name.Pos(), "verifyread's protocol table names %s but internal/core does not declare it; update the table", name)
+		checkAnnotationDrift(pass, protocol)
+	}
+	return nil
+}
+
+// checkAnnotationDrift pins the annotations to the declarations of the
+// real core package.
+func checkAnnotationDrift(pass *analysis.Pass, protocol *analysis.Protocol) {
+	if len(protocol.Drivers) == 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(), "internal/core declares no `abft:protocol driver` annotation; the verification discipline is unchecked")
+	}
+
+	consts := map[string]bool{}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, s := range gd.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || !isCoreScheme(pass, c.Type()) {
+						continue
+					}
+					consts[c.Name()] = true
+					if _, ok := protocol.Scheme(c.Name()); !ok {
+						pass.Reportf(name.Pos(), "Scheme constant %s has no `abft:protocol scheme` annotation; declare its verification discipline", c.Name())
+					}
+				}
 			}
 		}
 	}
-	return nil
+	for _, s := range protocol.Schemes {
+		if !consts[s.Name] {
+			pass.Reportf(s.Pos, "abft:protocol scheme directive names %s but internal/core declares no such Scheme constant", s.Name)
+		}
+	}
+}
+
+func isCoreScheme(pass *analysis.Pass, t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Scheme" && obj.Pkg() == pass.Pkg
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.Pos()).Filename
+	return len(name) > 8 && name[len(name)-8:] == "_test.go"
 }
 
 // callSite holds one protocol-step call found in a driver.
@@ -103,7 +144,7 @@ type callSite struct {
 	call *ast.CallExpr
 }
 
-func checkDriver(pass *analysis.Pass, fd *ast.FuncDecl, steps []string) {
+func checkDriver(pass *analysis.Pass, protocol *analysis.Protocol, fd *ast.FuncDecl, steps []string) {
 	info := pass.TypesInfo
 	stepSet := map[string]bool{}
 	for _, s := range steps {
@@ -149,10 +190,18 @@ func checkDriver(pass *analysis.Pass, fd *ast.FuncDecl, steps []string) {
 		return
 	}
 
-	for _, sp := range specs {
-		rs := resolver(info, du, sp)
+	for _, sp := range protocol.Schemes {
+		preRead := false
+		switch sp.Verify {
+		case analysis.VerifyPreRead:
+			preRead = true
+		case analysis.VerifyPostWrite:
+		default:
+			continue // scrubbed/final/none: no static ordering obligation
+		}
+		rs := analysis.SchemeResolver(info, du, corePath, sp)
 		opts := analysis.PathOpts{Resolve: rs}
-		if sp.preRead {
+		if preRead {
 			// A step reachable from entry without crossing a verify is
 			// read-before-verify.
 			reach := g.Reachable(g.Entry, analysis.PathOpts{
@@ -161,7 +210,7 @@ func checkDriver(pass *analysis.Pass, fd *ast.FuncDecl, steps []string) {
 			})
 			for _, s := range sites {
 				if reach[s.node] && !verify[s.node] {
-					pass.Reportf(s.call.Pos(), "on the %s path, %s is reachable without a preceding %s; Enhanced Online-ABFT must verify blocks before they are read", sp.scheme, s.name, verifierName)
+					pass.Reportf(s.call.Pos(), "on the %s path, %s is reachable without a preceding %s; Enhanced Online-ABFT must verify blocks before they are read", sp.Name, s.name, verifierName)
 				}
 			}
 			continue
@@ -178,7 +227,7 @@ func checkDriver(pass *analysis.Pass, fd *ast.FuncDecl, steps []string) {
 				Barrier: func(n *analysis.Node) bool { return verify[n] || errReturn[n] },
 			})
 			if after[g.Exit] {
-				pass.Reportf(s.call.Pos(), "on the %s path, %s can reach the function exit without a subsequent %s; Online-ABFT must verify blocks right after they are written", sp.scheme, s.name, verifierName)
+				pass.Reportf(s.call.Pos(), "on the %s path, %s can reach the function exit without a subsequent %s; Online-ABFT must verify blocks right after they are written", sp.Name, s.name, verifierName)
 			}
 		}
 	}
@@ -196,145 +245,4 @@ func returnsError(info *types.Info, ret *ast.ReturnStmt) bool {
 	}
 	tv, ok := info.Types[r]
 	return ok && tv.Type != nil && tv.Type.String() == "error"
-}
-
-// resolver builds the condition oracle for one specialization. It
-// grants the protocol's sanctioned relaxations — the K-gate and
-// iteration-progress guards hold — and resolves scheme tests and the
-// booleans derived from them.
-func resolver(info *types.Info, du *analysis.DefUse, sp spec) func(ast.Expr) (bool, bool) {
-	var eval func(e ast.Expr, depth int) (bool, bool)
-	eval = func(e ast.Expr, depth int) (bool, bool) {
-		if depth > 8 {
-			return false, false
-		}
-		switch e := e.(type) {
-		case *ast.ParenExpr:
-			return eval(e.X, depth)
-		case *ast.UnaryExpr:
-			if e.Op.String() == "!" {
-				if v, ok := eval(e.X, depth+1); ok {
-					return !v, true
-				}
-			}
-		case *ast.BinaryExpr:
-			switch e.Op.String() {
-			case "&&":
-				lv, lk := eval(e.X, depth+1)
-				rv, rk := eval(e.Y, depth+1)
-				if (lk && !lv) || (rk && !rv) {
-					return false, true
-				}
-				if lk && rk {
-					return lv && rv, true
-				}
-			case "||":
-				lv, lk := eval(e.X, depth+1)
-				rv, rk := eval(e.Y, depth+1)
-				if (lk && lv) || (rk && rv) {
-					return true, true
-				}
-				if lk && rk {
-					return false, true
-				}
-			case "==", "!=":
-				if v, ok := schemeTest(info, e.X, e.Y, sp); ok {
-					if e.Op.String() == "!=" {
-						return !v, true
-					}
-					return v, true
-				}
-				// K-gate: j % K == 0 is granted (§V-C permits the
-				// amortized discipline).
-				if e.Op.String() == "==" && isModulo(e.X) && isZero(e.Y) {
-					return true, true
-				}
-			case ">":
-				// Iteration-progress guards (j > 0, m > 0) are granted:
-				// the discipline is judged on steady-state iterations.
-				if isZero(e.Y) {
-					if _, ok := e.X.(*ast.Ident); ok {
-						return true, true
-					}
-				}
-			}
-		case *ast.CallExpr:
-			// sch.FaultTolerant() has a fixed value per scheme.
-			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "FaultTolerant" {
-				if tv, ok := info.Types[sel.X]; ok && isSchemeType(tv.Type) {
-					return sp.ft, true
-				}
-			}
-		case *ast.Ident:
-			// A boolean local with exactly one definition inherits the
-			// resolved value of its defining expression (ft, online,
-			// gate in the drivers).
-			obj := info.Uses[e]
-			if obj == nil {
-				break
-			}
-			if defs := du.Defs[obj]; len(defs) == 1 && defs[0] != nil {
-				return eval(defs[0], depth+1)
-			}
-		}
-		return false, false
-	}
-	return func(cond ast.Expr) (bool, bool) { return eval(cond, 0) }
-}
-
-// schemeTest resolves `X == Y` where one side is a Scheme constant and
-// the other a non-constant Scheme expression: under the
-// specialization, the expression holds exactly the assumed scheme.
-func schemeTest(info *types.Info, x, y ast.Expr, sp spec) (bool, bool) {
-	if name, ok := schemeConst(info, x); ok && isSchemeExpr(info, y) {
-		return name == sp.scheme, true
-	}
-	if name, ok := schemeConst(info, y); ok && isSchemeExpr(info, x) {
-		return name == sp.scheme, true
-	}
-	return false, false
-}
-
-func schemeConst(info *types.Info, e ast.Expr) (string, bool) {
-	var id *ast.Ident
-	switch e := e.(type) {
-	case *ast.Ident:
-		id = e
-	case *ast.SelectorExpr:
-		id = e.Sel
-	default:
-		return "", false
-	}
-	c, ok := info.Uses[id].(*types.Const)
-	if !ok || !isSchemeType(c.Type()) {
-		return "", false
-	}
-	return c.Name(), true
-}
-
-func isSchemeExpr(info *types.Info, e ast.Expr) bool {
-	tv, ok := info.Types[e]
-	if !ok || tv.Value != nil {
-		return false
-	}
-	return isSchemeType(tv.Type)
-}
-
-func isSchemeType(t types.Type) bool {
-	n, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := n.Obj()
-	return obj.Name() == "Scheme" && obj.Pkg() != nil && obj.Pkg().Path() == corePath
-}
-
-func isModulo(e ast.Expr) bool {
-	b, ok := e.(*ast.BinaryExpr)
-	return ok && b.Op.String() == "%"
-}
-
-func isZero(e ast.Expr) bool {
-	lit, ok := e.(*ast.BasicLit)
-	return ok && lit.Value == "0"
 }

@@ -30,6 +30,7 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/abftlint ./...
 	$(GO) run ./cmd/abftlint -nolint-report ./...
+	$(GO) run ./tools/escapecheck -check
 
 # Time the analyzer suite itself: one full module load/type-check
 # (BenchmarkLoadRepo) and one pass of all registered analyzers over it
@@ -37,7 +38,7 @@ lint:
 # this when adding an analyzer to keep them honest.
 lint-bench:
 	mkdir -p artifacts
-	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkSuite|BenchmarkSummaries' -benchmem \
+	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkSuite|BenchmarkSummaries|BenchmarkHotpath' -benchmem \
 		./tools/analyzers/analysis | tee artifacts/lint-bench.txt
 
 # Rewrite files in place to satisfy the formatting gate.
@@ -55,6 +56,7 @@ bench:
 	$(GO) test -bench=. -benchmem ./... | tee artifacts/bench.txt
 	$(GO) run ./cmd/abftchol -exp all -quick -metrics-out artifacts/bench-metrics.json > /dev/null
 	$(GO) run ./tools/sweepbench -out BENCH_sweep.json -metrics-out artifacts/sweep-cache-metrics.json
+	$(GO) run ./tools/blasbench -out BENCH_blas.json
 
 # The observability artifacts CI uploads: a Perfetto-loadable Chrome
 # trace of the fig8 sweep's last run plus the sweep's metrics

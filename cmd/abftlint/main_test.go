@@ -127,7 +127,7 @@ func TestDriverOnSeededBugs(t *testing.T) {
 		t.Fatalf("driver exited %d on the seeded-bug module, want 1; output:\n%s", code, sb.String())
 	}
 	out := sb.String()
-	for _, want := range []string{"[lockcheck]", "[goleak]", "[detorder]", "[chkflow]"} {
+	for _, want := range []string{"[lockcheck]", "[goleak]", "[detorder]", "[chkflow]", "[hotpath]"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("driver output carries no %s finding on the seeded bug:\n%s", want, out)
 		}

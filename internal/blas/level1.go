@@ -12,6 +12,10 @@ package blas
 import "math"
 
 // Daxpy computes y ← alpha*x + y over n elements with unit stride.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=2
 func Daxpy(n int, alpha float64, x, y []float64) {
 	if alpha == 0 || n == 0 {
 		return
@@ -24,6 +28,10 @@ func Daxpy(n int, alpha float64, x, y []float64) {
 }
 
 // Ddot returns xᵀy over n elements with unit stride.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=2
 func Ddot(n int, x, y []float64) float64 {
 	s := 0.0
 	x = x[:n]
@@ -35,6 +43,10 @@ func Ddot(n int, x, y []float64) float64 {
 }
 
 // Dscal computes x ← alpha*x over n elements with unit stride.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=1
 func Dscal(n int, alpha float64, x []float64) {
 	x = x[:n]
 	for i := range x {
@@ -79,6 +91,10 @@ func Idamax(n int, x []float64) int {
 }
 
 // Dcopy copies n elements of x into y.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=2
 func Dcopy(n int, x, y []float64) {
 	copy(y[:n], x[:n])
 }

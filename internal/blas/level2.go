@@ -69,12 +69,17 @@ func Dger(m, n int, alpha float64, x, y, a []float64, lda int) {
 
 // Dtrsv solves L*x = b or Lᵀ*x = b in place for a lower-triangular,
 // non-unit-diagonal n x n matrix L with leading dimension lda.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=4
 func Dtrsv(trans Transpose, n int, l []float64, lda int, x []float64) {
+	x = x[:n]
 	if trans == NoTrans {
 		for j := 0; j < n; j++ {
 			x[j] /= l[j+j*lda]
 			xj := x[j]
-			col := l[j*lda:]
+			col := l[j*lda:][:n]
 			for i := j + 1; i < n; i++ {
 				x[i] -= xj * col[i]
 			}
@@ -83,7 +88,7 @@ func Dtrsv(trans Transpose, n int, l []float64, lda int, x []float64) {
 	}
 	for j := n - 1; j >= 0; j-- {
 		s := x[j]
-		col := l[j*lda:]
+		col := l[j*lda:][:n]
 		for i := j + 1; i < n; i++ {
 			s -= col[i] * x[i]
 		}

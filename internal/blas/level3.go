@@ -10,10 +10,19 @@ const (
 
 // Dgemm computes C ← alpha*op(A)*op(B) + beta*C where op(A) is
 // m x k, op(B) is k x n, and C is m x n, all column-major.
+//
+// The column slices use the two-step base[off:][:n] form throughout:
+// the compiler proves len from the second slice directly, where the
+// single-step base[off : off+n] leaves an unsimplified (off+n)-off it
+// cannot bound loops with (verified against -d=ssa/check_bce).
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=24
 func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	if beta != 1 {
 		for j := 0; j < n; j++ {
-			col := c[j*ldc : j*ldc+m]
+			col := c[j*ldc:][:m]
 			if beta == 0 {
 				for i := range col {
 					col[i] = 0
@@ -33,16 +42,16 @@ func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, ld
 		// C += alpha * A(m x k) * B(k x n): rank-1 accumulation per
 		// (l, j) keeps the inner loop streaming down columns.
 		for j := 0; j < n; j++ {
-			ccol := c[j*ldc : j*ldc+m]
-			bcol := b[j*ldb : j*ldb+k]
+			ccol := c[j*ldc:][:m]
+			bcol := b[j*ldb:][:k]
 			for l := 0; l < k; l++ {
 				ab := alpha * bcol[l]
 				if ab == 0 {
 					continue
 				}
-				acol := a[l*lda : l*lda+m]
-				for i, v := range acol {
-					ccol[i] += ab * v
+				acol := a[l*lda:][:len(ccol)]
+				for i := range ccol {
+					ccol[i] += ab * acol[i]
 				}
 			}
 		}
@@ -55,40 +64,40 @@ func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, ld
 			return
 		}
 		for j := 0; j < n; j++ {
-			ccol := c[j*ldc : j*ldc+m]
+			ccol := c[j*ldc:][:m]
 			for l := 0; l < k; l++ {
 				ab := alpha * b[j+l*ldb]
 				if ab == 0 {
 					continue
 				}
-				acol := a[l*lda : l*lda+m]
-				for i, v := range acol {
-					ccol[i] += ab * v
+				acol := a[l*lda:][:len(ccol)]
+				for i := range ccol {
+					ccol[i] += ab * acol[i]
 				}
 			}
 		}
 	case transA == Trans && transB == NoTrans:
 		// C += alpha * Aᵀ * B, A is k x m: dot products down columns.
 		for j := 0; j < n; j++ {
-			ccol := c[j*ldc : j*ldc+m]
-			bcol := b[j*ldb : j*ldb+k]
-			for i := 0; i < m; i++ {
-				acol := a[i*lda : i*lda+k]
+			ccol := c[j*ldc:][:m]
+			bcol := b[j*ldb:][:k]
+			for i := range ccol {
+				acol := a[i*lda:][:len(bcol)]
 				s := 0.0
-				for l, v := range acol {
-					s += v * bcol[l]
+				for l, v := range bcol {
+					s += acol[l] * v
 				}
 				ccol[i] += alpha * s
 			}
 		}
 	default: // Trans, Trans
 		for j := 0; j < n; j++ {
-			ccol := c[j*ldc : j*ldc+m]
-			for i := 0; i < m; i++ {
-				acol := a[i*lda : i*lda+k]
+			ccol := c[j*ldc:][:m]
+			for i := range ccol {
+				acol := a[i*lda:][:k]
 				s := 0.0
 				for l, v := range acol {
-					s += v * b[j+l*ldb]
+					s += v * b[j+l*ldb] //nolint:hotpath — inherently strided row read of B; the factorization never takes the Trans/Trans path
 				}
 				ccol[i] += alpha * s
 			}
@@ -98,9 +107,13 @@ func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, ld
 
 // Dsyrk computes C ← alpha*A*Aᵀ + beta*C updating only the lower
 // triangle, where A is n x k and C is n x n.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=7
 func Dsyrk(n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
 	for j := 0; j < n; j++ {
-		col := c[j*ldc:]
+		col := c[j*ldc:][:n]
 		if beta == 0 {
 			for i := j; i < n; i++ {
 				col[i] = 0
@@ -115,13 +128,13 @@ func Dsyrk(n, k int, alpha float64, a []float64, lda int, beta float64, c []floa
 		return
 	}
 	for j := 0; j < n; j++ {
-		ccol := c[j*ldc:]
+		ccol := c[j*ldc:][:n]
 		for l := 0; l < k; l++ {
 			ab := alpha * a[j+l*lda]
 			if ab == 0 {
 				continue
 			}
-			acol := a[l*lda:]
+			acol := a[l*lda:][:n]
 			for i := j; i < n; i++ {
 				ccol[i] += ab * acol[i]
 			}
@@ -136,10 +149,14 @@ func Dsyrk(n, k int, alpha float64, a []float64, lda int, beta float64, c []floa
 //
 // where L is lower triangular with non-unit diagonal. Only the lower
 // storage of L is referenced.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=18
 func Dtrsm(side Side, transL Transpose, m, n int, alpha float64, l []float64, ldl int, b []float64, ldb int) {
 	if alpha != 1 {
 		for j := 0; j < n; j++ {
-			col := b[j*ldb : j*ldb+m]
+			col := b[j*ldb:][:m]
 			for i := range col {
 				col[i] *= alpha
 			}
@@ -149,22 +166,22 @@ func Dtrsm(side Side, transL Transpose, m, n int, alpha float64, l []float64, ld
 	case side == Left && transL == NoTrans:
 		// Solve L*X = B: forward substitution per column of B.
 		for j := 0; j < n; j++ {
-			Dtrsv(NoTrans, m, l, ldl, b[j*ldb:j*ldb+m])
+			Dtrsv(NoTrans, m, l, ldl, b[j*ldb:][:m])
 		}
 	case side == Left && transL == Trans:
 		for j := 0; j < n; j++ {
-			Dtrsv(Trans, m, l, ldl, b[j*ldb:j*ldb+m])
+			Dtrsv(Trans, m, l, ldl, b[j*ldb:][:m])
 		}
 	case side == Right && transL == NoTrans:
 		// X*L = B  =>  column k of X: x_k = (b_k - sum_{j>k} x_j*L[j,k]) / L[k,k]
 		for k := n - 1; k >= 0; k-- {
-			bk := b[k*ldb : k*ldb+m]
+			bk := b[k*ldb:][:m]
 			for j := k + 1; j < n; j++ {
 				ljk := l[j+k*ldl]
 				if ljk == 0 {
 					continue
 				}
-				bj := b[j*ldb : j*ldb+m]
+				bj := b[j*ldb:][:len(bk)]
 				for i := range bk {
 					bk[i] -= ljk * bj[i]
 				}
@@ -177,13 +194,13 @@ func Dtrsm(side Side, transL Transpose, m, n int, alpha float64, l []float64, ld
 	default: // Right, Trans
 		// X*Lᵀ = B  =>  column k: x_k = (b_k - sum_{j<k} x_j*L[k,j]) / L[k,k]
 		for k := 0; k < n; k++ {
-			bk := b[k*ldb : k*ldb+m]
+			bk := b[k*ldb:][:m]
 			for j := 0; j < k; j++ {
 				lkj := l[k+j*ldl]
 				if lkj == 0 {
 					continue
 				}
-				bj := b[j*ldb : j*ldb+m]
+				bj := b[j*ldb:][:len(bk)]
 				for i := range bk {
 					bk[i] -= lkj * bj[i]
 				}

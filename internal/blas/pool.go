@@ -1,0 +1,18 @@
+package blas
+
+import "sync"
+
+// packPool recycles the KC x NC packing buffers of dgemmNTPacked. A
+// fresh make would be stack-sized (64 KiB, right at the compiler's
+// limit), but zeroing it on every call and carrying it in every
+// goroutine's frame is exactly the per-call cost the hotpath analyzer
+// exists to flag; the pool makes the packing buffer a steady-state
+// object shared across calls and workers. Callers Get at entry and Put
+// on the way out — no defer, the kernel has no early returns and defer
+// is itself banned on the hot path.
+var packPool = sync.Pool{
+	New: func() any {
+		buf := make([]float64, packKC*packNC)
+		return &buf
+	},
+}

@@ -29,13 +29,17 @@ func (e *PivotError) Unwrap() error { return ErrNotPositiveDefinite }
 // lower triangle of the n x n matrix a (leading dimension lda),
 // overwriting the lower triangle with L. The strict upper triangle is
 // not referenced. This is the POTF2 kernel that MAGMA runs on the CPU.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=6
 func Dpotf2(n int, a []float64, lda int) error {
 	for j := 0; j < n; j++ {
-		col := a[j*lda:]
+		col := a[j*lda:][:n]
 		// a[j,j] -= dot(a[j, 0:j], a[j, 0:j])
 		d := col[j]
 		for k := 0; k < j; k++ {
-			v := a[j+k*lda]
+			v := a[j+k*lda] //nolint:hotpath — row dot product is inherently strided in column-major storage; j is panel-width bounded
 			d -= v * v
 		}
 		if d <= 0 || math.IsNaN(d) {
@@ -49,7 +53,7 @@ func Dpotf2(n int, a []float64, lda int) error {
 			if ajk == 0 {
 				continue
 			}
-			kcol := a[k*lda:]
+			kcol := a[k*lda:][:n]
 			for i := j + 1; i < n; i++ {
 				col[i] -= ajk * kcol[i]
 			}
@@ -65,6 +69,10 @@ func Dpotf2(n int, a []float64, lda int) error {
 // Dpotrf computes a blocked right-looking Cholesky factorization of
 // the lower triangle of a, with block size nb. It is the serial
 // reference the hybrid and ABFT variants are validated against.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=4
 func Dpotrf(n, nb int, a []float64, lda int) error {
 	if nb <= 0 || nb >= n {
 		return Dpotf2(n, a, lda)

@@ -36,6 +36,10 @@ func Vectors(b int) (v1, v2 []float64) {
 
 // EncodeBlockInto writes the 2 x C checksum of block (R x C) into chk.
 // Row 0 of chk is the plain column sum, row 1 the weighted sum.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=2
 func EncodeBlockInto(block, chk *mat.Matrix) {
 	if chk.Rows != 2 || chk.Cols != block.Cols {
 		panic(fmt.Sprintf("checksum: chk %dx%d for block %dx%d", chk.Rows, chk.Cols, block.Rows, block.Cols))

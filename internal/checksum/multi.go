@@ -49,6 +49,13 @@ func (c *MultiCode) Vectors() int { return c.m }
 func (c *MultiCode) MaxErrors() int { return c.m / 2 }
 
 // EncodeInto writes the m x C checksum of block into chk.
+//
+// The accumulator lives in a fixed stack array for the code sizes the
+// factorization actually uses (m ≤ 8); encoding is allocation-free per
+// call, where it previously allocated one m-slice per column.
+//
+// abft:hotpath
+// abft:bce checks=2
 func (c *MultiCode) EncodeInto(block, chk *mat.Matrix) {
 	if block.Rows != c.b {
 		panic(fmt.Sprintf("checksum: block has %d rows, code built for %d", block.Rows, c.b))
@@ -56,20 +63,28 @@ func (c *MultiCode) EncodeInto(block, chk *mat.Matrix) {
 	if chk.Rows != c.m || chk.Cols != block.Cols {
 		panic(fmt.Sprintf("checksum: chk %dx%d for m=%d block %dx%d", chk.Rows, chk.Cols, c.m, block.Rows, block.Cols))
 	}
+	var sumbuf [8]float64
+	sums := sumbuf[:]
+	if c.m > len(sumbuf) {
+		sums = make([]float64, c.m) //nolint:hotpath — cold: codes larger than 8 vectors pay one allocation per encode, never per column
+	}
+	sums = sums[:c.m]
 	for col := 0; col < block.Cols; col++ {
 		data := block.Col(col)
+		for s := range sums {
+			sums[s] = 0
+		}
 		// Accumulate all m weighted sums in one pass: w_s[i] = (i+1)^s.
-		sums := make([]float64, c.m)
 		for i, v := range data {
 			w := 1.0
 			x := float64(i + 1)
-			for s := 0; s < c.m; s++ {
+			for s := range sums {
 				sums[s] += w * v
 				w *= x
 			}
 		}
-		for s := 0; s < c.m; s++ {
-			chk.Set(s, col, sums[s])
+		for s, sv := range sums {
+			chk.Set(s, col, sv)
 		}
 	}
 }
@@ -83,8 +98,8 @@ func (c *MultiCode) VerifyAndCorrect(block, stored, scratch *mat.Matrix) ([]Corr
 	c.EncodeInto(block, scratch)
 	tol := Tolerance(block)
 	var out []Correction
+	syn := make([]float64, c.m)
 	for col := 0; col < block.Cols; col++ {
-		syn := make([]float64, c.m)
 		dirty := false
 		for s := 0; s < c.m; s++ {
 			syn[s] = scratch.At(s, col) - stored.At(s, col)

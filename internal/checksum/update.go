@@ -21,6 +21,10 @@ import (
 // multiplied, and panel the (B x K) factored row panel. This is the
 // paper's chk(A') = chk(A) − chk(LC)·LCᵀ (Fig. 4) and
 // chk(B') = chk(B) − chk(LD)·LCᵀ (Fig. 5) in slab form.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=0
 func UpdateRankK(chkOut, chkSrc, panel *mat.Matrix) {
 	if chkOut.Rows != chkSrc.Rows || chkOut.Cols != panel.Rows || chkSrc.Cols != panel.Cols {
 		panic(fmt.Sprintf("checksum: rank-k update shapes chkOut %dx%d chkSrc %dx%d panel %dx%d",
@@ -39,6 +43,10 @@ func UpdateRankK(chkOut, chkSrc, panel *mat.Matrix) {
 //
 // matching LB = B'·(LAᵀ)⁻¹ (Fig. 7). chk is a (2m x B) slab and l the
 // factored B x B lower-triangular diagonal block.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=0
 func UpdateTRSM(chk, l *mat.Matrix) {
 	if chk.Cols != l.Rows || l.Rows != l.Cols {
 		panic(fmt.Sprintf("checksum: trsm update shapes chk %dx%d l %dx%d", chk.Rows, chk.Cols, l.Rows, l.Cols))
@@ -54,6 +62,10 @@ func UpdateTRSM(chk, l *mat.Matrix) {
 //
 // (Algebraically this equals chk·LA⁻ᵀ, but the paper's loop form works
 // one column at a time exactly as the CPU factors them.)
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=6
 func UpdatePOTF2(chk, la *mat.Matrix) {
 	b := la.Rows
 	if la.Cols != b || chk.Cols != b {

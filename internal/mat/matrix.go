@@ -48,18 +48,30 @@ func FromSlice(rows, cols int, data []float64) *Matrix {
 }
 
 // At returns element (i, j).
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=1
 func (m *Matrix) At(i, j int) float64 {
 	m.boundsCheck(i, j)
 	return m.Data[i+j*m.Stride]
 }
 
 // Set assigns element (i, j).
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=1
 func (m *Matrix) Set(i, j int, v float64) {
 	m.boundsCheck(i, j)
 	m.Data[i+j*m.Stride] = v
 }
 
 // Add increments element (i, j) by v.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=1
 func (m *Matrix) Add(i, j int, v float64) {
 	m.boundsCheck(i, j)
 	m.Data[i+j*m.Stride] += v
@@ -72,6 +84,10 @@ func (m *Matrix) boundsCheck(i, j int) {
 }
 
 // Col returns the j-th column as a slice aliasing the matrix storage.
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=2
 func (m *Matrix) Col(j int) []float64 {
 	if j < 0 || j >= m.Cols {
 		panic(fmt.Sprintf("mat: column %d out of range %d", j, m.Cols))
@@ -84,6 +100,10 @@ func (m *Matrix) Col(j int) []float64 {
 // callers never spell out Data[i+j*Stride] themselves — the
 // column-major layout stays a single-package concern (enforced by the
 // matindex analyzer).
+//
+// abft:hotpath
+// abft:noescape
+// abft:bce checks=1
 func (m *Matrix) Off(i, j int) []float64 {
 	m.boundsCheck(i, j)
 	return m.Data[i+j*m.Stride:]

@@ -1,0 +1,284 @@
+package hotpath
+
+// Bounds-check-elimination hints. The Go compiler's prove pass removes
+// the bounds check from s[i] only when it can see the loop bound the
+// index by len(s): ranging over s itself, or a loop condition whose
+// bound is provably the slice's length because of a re-slice hoisted
+// above the loop. Crucially, two slices with the *same textual extent*
+// are not proven equal length — `a := base[p:q]; c := base2[p:q]` with
+// `for i := range c { a[i] }` keeps the check. Only a len-anchored
+// re-slice (`a = a[:len(c)]`, `a := base[p:][:n]` against `i < n`, or a
+// make of the same extent) ties the lengths together in SSA. This file
+// recognizes exactly those shapes, syntactically, and flags every other
+// slice index in an innermost loop; tools/escapecheck pins the same
+// claim against the compiler's -d=ssa/check_bce output so the
+// recognizer cannot drift from what the prove pass actually does.
+//
+// The check is deliberately restricted to innermost loops (where the
+// check costs a branch per element) and to the upper bound (the lower
+// bound falls out of induction from a non-negative start, which the
+// prove pass handles far more generally than any syntactic rule could;
+// check_bce remains the ground truth for it).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// anchor records a point where a slice variable's length was pinned to
+// a known extent: s = s[:n], s := base[off:][:n], s := make([]T, n).
+type anchor struct {
+	pos    token.Pos
+	extent string // source text of the expression len(s) now equals
+}
+
+// bce runs the bounds-check-hint pass over one checked function.
+func (w *walker) bce(fd *ast.FuncDecl) {
+	anchors := collectAnchors(fd)
+	var loops []struct {
+		stmt  ast.Stmt
+		depth int
+	}
+	var find func(n ast.Node, depth int)
+	find = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch l := m.(type) {
+			case *ast.ForStmt:
+				loops = append(loops, struct {
+					stmt  ast.Stmt
+					depth int
+				}{l, depth + 1})
+				find(l.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				loops = append(loops, struct {
+					stmt  ast.Stmt
+					depth int
+				}{l, depth + 1})
+				find(l.Body, depth+1)
+				return false
+			}
+			return true
+		})
+	}
+	find(fd.Body, 0)
+
+	for _, l := range loops {
+		if !innermost(l.stmt) {
+			continue
+		}
+		w.bceLoop(l.stmt, l.depth, anchors)
+	}
+}
+
+// innermost reports whether the loop contains no nested loop. Only
+// innermost bodies are held to the eliminable-index rule; an index in
+// an outer loop runs once per tile, not once per element.
+func innermost(l ast.Stmt) bool {
+	body := loopBody(l)
+	nested := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			nested = true
+		}
+		return !nested
+	})
+	return !nested
+}
+
+func loopBody(l ast.Stmt) *ast.BlockStmt {
+	switch l := l.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// bceLoop classifies one innermost loop and checks every slice index
+// in its body. Loops outside the two provable shapes (range over a
+// slice with a key, or `for i := lo; i < bound; i++`) are skipped: the
+// analyzer flags only what it can prove non-eliminable.
+func (w *walker) bceLoop(l ast.Stmt, depth int, anchors map[string][]anchor) {
+	var (
+		iv        types.Object // induction variable
+		rangedStr string       // range form: source text of the ranged slice
+		rangedExt string       // range form: the ranged slice's own anchored extent
+		bound     string       // for form: source text of the upper bound
+	)
+	switch l := l.(type) {
+	case *ast.RangeStmt:
+		key, ok := l.Key.(*ast.Ident)
+		if !ok || key.Name == "_" {
+			return
+		}
+		if !isSliceType(w.info.TypeOf(l.X)) {
+			return
+		}
+		iv = w.info.Defs[key]
+		if iv == nil {
+			iv = w.info.Uses[key]
+		}
+		rangedStr = types.ExprString(l.X)
+		rangedExt = latestExtent(anchors, rangedStr, l.Pos())
+	case *ast.ForStmt:
+		cond, ok := l.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.LSS {
+			return
+		}
+		id, ok := ast.Unparen(cond.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		iv = w.info.Uses[id]
+		if iv == nil {
+			iv = w.info.Defs[id]
+		}
+		post, ok := l.Post.(*ast.IncDecStmt)
+		if !ok || post.Tok != token.INC {
+			return
+		}
+		pid, ok := ast.Unparen(post.X).(*ast.Ident)
+		if !ok || w.info.Uses[pid] != iv {
+			return
+		}
+		bound = types.ExprString(cond.Y)
+	default:
+		return
+	}
+	if iv == nil {
+		return
+	}
+
+	ast.Inspect(loopBody(l), func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure body is not this loop's straight line
+		}
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if inSpans(w.cold, ix.Pos()) {
+			return true
+		}
+		if !isSliceType(w.info.TypeOf(ix.X)) {
+			return true
+		}
+		sStr := types.ExprString(ix.X)
+		id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+		if !ok || (w.info.Uses[id] != iv && w.info.Defs[id] != iv) {
+			w.reportf(ix.Pos(), depth,
+				"bounds check on %s[%s] is not eliminable (index is not the loop induction variable)",
+				sStr, types.ExprString(ix.Index))
+			return true
+		}
+		sExt := latestExtent(anchors, sStr, l.Pos())
+		ok = false
+		switch {
+		case rangedStr != "": // range i over rangedStr
+			// Same tight extent counts: two [:n] re-slices share the
+			// one SSA value n, which check_bce confirms is proven.
+			ok = sStr == rangedStr || sExt == "len("+rangedStr+")" ||
+				(sExt != "" && sExt == rangedExt)
+		default: // for iv < bound
+			ok = bound == "len("+sStr+")" || (sExt != "" && sExt == bound)
+		}
+		if !ok {
+			w.reportf(ix.Pos(), depth,
+				"bounds check on %s[%s] is not eliminable; hoist a re-slice (e.g. %s = %s[:len(...)]) above the loop",
+				sStr, id.Name, sStr, sStr)
+		}
+		return true
+	})
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// collectAnchors gathers, flow-insensitively, every statement in fd
+// that pins a slice variable's length to a source-level extent. The
+// position ordering stands in for dominance — good enough for the
+// straight-line prologue-then-loop shape of the kernels, and audited
+// by the compiler ground truth when it is not.
+func collectAnchors(fd *ast.FuncDecl) map[string][]anchor {
+	out := map[string][]anchor{}
+	add := func(lhs ast.Expr, rhs ast.Expr) {
+		ext := extentOf(rhs)
+		if ext == "" {
+			return
+		}
+		name := types.ExprString(lhs)
+		out[name] = append(out[name], anchor{pos: lhs.Pos(), extent: ext})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					add(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					add(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// extentOf returns the source text of the expression the result of e
+// provably has as its length, or "" when no extent is pinned:
+//
+//	x[:n], x[0:n], base[off:][:n]  -> n
+//	make([]T, n)                   -> n
+//
+// Deliberately absent: x[lo : lo+n]. The compiler computes that length
+// as (lo+n)-lo and — verified against -d=ssa/check_bce — does NOT
+// simplify it to n, so a loop bounded by n keeps its checks. The
+// two-step base[off:][:n] form is the idiom that actually proves.
+func extentOf(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		if e.High == nil {
+			return ""
+		}
+		if e.Low == nil || types.ExprString(e.Low) == "0" {
+			return types.ExprString(e.High)
+		}
+		return ""
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" && len(e.Args) >= 2 {
+			return types.ExprString(e.Args[1])
+		}
+	}
+	return ""
+}
+
+// latestExtent returns the extent of the last anchor for name strictly
+// before pos, or "".
+func latestExtent(anchors map[string][]anchor, name string, pos token.Pos) string {
+	best := ""
+	bestPos := token.NoPos
+	for _, a := range anchors[name] {
+		if a.pos < pos && a.pos >= bestPos {
+			best = a.extent
+			bestPos = a.pos
+		}
+	}
+	return best
+}

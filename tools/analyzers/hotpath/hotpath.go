@@ -1,0 +1,756 @@
+// Package hotpath proves performance invariants of the fused-ABFT
+// BLAS3 hot path. The blocked kernels in internal/blas and the
+// checksum-update routines in internal/checksum only hit their target
+// throughput while their inner loops stay allocation-free, escape-free
+// and bounds-check-eliminated — properties that regress silently under
+// refactoring because the code still computes the right numbers,
+// just slower. This analyzer pins them at lint time; its sibling
+// tools/escapecheck cross-checks the same annotations against the real
+// compiler's -m/-d=ssa/check_bce diagnostics.
+//
+// A function opts in with `// abft:hotpath` in its doc comment. Inside
+// annotated functions — and inside their must-inline helpers, the
+// small leaf functions the call graph reaches from an annotated root —
+// the analyzer reports:
+//
+//   - heap-allocating constructs: make, new, append, composite
+//     literals, and string concatenation;
+//   - boxing of non-pointer values into interfaces (call arguments,
+//     assignments, returns);
+//   - closures capturing an enclosing loop's induction variable;
+//   - defer statements;
+//   - synchronization: channel send/receive/close, select, and calls
+//     on sync types (sync.Pool Get/Put are sanctioned at loop depth 0
+//     — the pooling idiom the allocation findings point to — and
+//     flagged inside loops);
+//   - map ranges;
+//   - calls to functions outside the hot set: package-local callees
+//     that are neither annotated nor must-inline, cross-package
+//     callees outside the hot-path scope and the math intrinsics, and
+//     dynamic calls through function values or interfaces;
+//   - index expressions in innermost loops whose bounds check the
+//     compiler provably cannot eliminate (see below).
+//
+// Every diagnostic carries the construct's loop depth ("depth 2"), so
+// inner-loop findings rank above setup-code findings: a one-time
+// allocation at depth 0 is a cleanup, the same allocation at depth 3
+// is the whole regression.
+//
+// Cold paths are exempt: the arguments of panic(...) and the body of
+// an if whose last statement returns a non-nil error or panics. Abort
+// diagnostics may allocate; steady-state code may not.
+//
+// # Bounds-check elimination hints
+//
+// In an innermost loop, indexing s[i] is eliminable only when the
+// compiler can see len(s) bound the induction variable. The analyzer
+// recognizes the two provable shapes and flags everything else:
+//
+//	for i := range s       { ... s[i] ... }           // ranged slice
+//	for i := range r       { ... s[i] ... }           // s = s[:len(r)] hoisted above the loop
+//	for i := lo; i < n; i++ { ... s[i] ... }          // n == len(s), or s re-sliced to extent n
+//
+// The re-slice anchor (`s = s[:len(r)]`, `s := base[off:][:n]`, or a
+// make of extent n) must appear before the loop. Index expressions
+// that are not the plain induction variable (strided accesses like
+// a[j+k*lda]) are flagged unconditionally — no Go compiler eliminates
+// them — and need either restructuring or a //nolint:hotpath with the
+// arithmetic argument for why the access is cheap.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"abftchol/tools/analyzers/analysis"
+)
+
+// Doc explains the analyzer; it is also the driver help text.
+const Doc = "inside // abft:hotpath functions and their must-inline helpers, forbid heap allocation, interface boxing, defers, sync and channel ops, map ranges, loop-variable captures, and calls leaving the hot set, and require bounds-check-eliminable indexing in innermost loops; findings carry their loop depth"
+
+// Marker is the annotation that opts a function into the analysis.
+const Marker = "abft:hotpath"
+
+// hotScope limits the analyzer to the packages whose throughput the
+// ROADMAP's kernel work depends on. The same predicate doubles as the
+// cross-package call policy: a call into a package the analyzer also
+// covers is trusted, because that package's own pass checks its
+// annotated kernels.
+var hotScope = analysis.PathIn(
+	"abftchol/internal/blas",
+	"abftchol/internal/checksum",
+	"abftchol/internal/mat",
+)
+
+// Analyzer implements the pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "hotpath",
+	Doc:       Doc,
+	Scope:     "internal/blas, internal/checksum, internal/mat",
+	AppliesTo: hotScope,
+	Run:       run,
+}
+
+// Annotated reports whether the declaration's doc comment carries the
+// abft:hotpath marker. Exported for tools/escapecheck's report, which
+// lists the annotated set next to the compiler's verdicts.
+func Annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == Marker || strings.HasPrefix(text, Marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	cg := analysis.BuildCallGraph(pass)
+
+	// The hot set: annotated roots plus every must-inline helper
+	// reachable from one through package-local calls. Helpers are
+	// checked under the same rules as their callers — after inlining
+	// they *are* the caller's inner loop — while a call to a large
+	// non-annotated function is a finding at the call site.
+	hot := map[*types.Func]bool{}
+	root := map[*types.Func]string{} // helper -> annotated root it serves
+	var order []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !Annotated(fd) {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				hot[fn] = true
+				order = append(order, fd)
+			}
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	for queue := append([]*ast.FuncDecl(nil), order...); len(queue) > 0; {
+		fd := queue[0]
+		queue = queue[1:]
+		caller, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeOf(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() != pass.Pkg || hot[callee] {
+				return true
+			}
+			decl := cg.Decl(callee)
+			if decl == nil || !mustInline(decl) {
+				return true // flagged later at the call site
+			}
+			hot[callee] = true
+			if r, ok := root[caller]; ok {
+				root[callee] = r
+			} else {
+				root[callee] = caller.Name()
+			}
+			order = append(order, decl)
+			queue = append(queue, decl)
+			return true
+		})
+	}
+
+	for _, fd := range order {
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		w := &walker{
+			pass:    pass,
+			info:    pass.TypesInfo,
+			hot:     hot,
+			fname:   fd.Name.Name,
+			helper:  root[fn],
+			results: fd.Type.Results,
+			cold:    coldSpans(pass.TypesInfo, fd),
+		}
+		w.stmtList(fd.Body.List, 0)
+		w.bce(fd)
+	}
+	return nil
+}
+
+// mustInline decides whether a package-local callee is small enough
+// that the compiler inlines it into the hot loop (so its body must
+// obey the hot-path rules) rather than a real call (which the caller
+// gets flagged for). The heuristic mirrors the inliner's hard
+// disqualifiers and approximates its cost budget with a node count.
+func mustInline(fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return false
+	}
+	nodes, ok := 0, true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		nodes++
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.DeferStmt, *ast.GoStmt, *ast.SelectStmt, *ast.FuncLit:
+			ok = false
+		}
+		return ok
+	})
+	return ok && nodes <= 80
+}
+
+// ---- cold paths ------------------------------------------------------
+
+// span is a half-open position interval of exempt source.
+type span struct{ lo, hi token.Pos }
+
+// coldSpans collects the abort regions of fd: panic call expressions
+// and if-bodies that end by returning a non-nil error or panicking.
+// Findings inside them are suppressed — the hot path is the code that
+// runs when nothing is wrong.
+func coldSpans(info *types.Info, fd *ast.FuncDecl) []span {
+	var out []span
+	errResult := returnsError(info, fd.Type)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					out = append(out, span{n.Pos(), n.End()})
+				}
+			}
+		case *ast.FuncLit:
+			// A literal's own error contract differs from fd's; keep
+			// its panic spans (the CallExpr case above still fires) but
+			// don't credit its returns against fd's signature.
+			errInner := returnsError(info, n.Type)
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if ifs, ok := m.(*ast.IfStmt); ok && coldIfBody(info, ifs, errInner) {
+					out = append(out, span{ifs.Body.Pos(), ifs.Body.End()})
+				}
+				return true
+			})
+			return false
+		case *ast.IfStmt:
+			if coldIfBody(info, n, errResult) {
+				out = append(out, span{n.Body.Pos(), n.Body.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// coldIfBody reports whether the if's body terminates in an error
+// return (the function has an error result and the returned value is
+// not the nil literal) or a panic.
+func coldIfBody(info *types.Info, ifs *ast.IfStmt, errResult bool) bool {
+	body := ifs.Body.List
+	if len(body) == 0 {
+		return false
+	}
+	switch last := body[len(body)-1].(type) {
+	case *ast.ReturnStmt:
+		if !errResult || len(last.Results) == 0 {
+			return false
+		}
+		final := ast.Unparen(last.Results[len(last.Results)-1])
+		if id, ok := final.(*ast.Ident); ok && id.Name == "nil" {
+			return false
+		}
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return false
+		}
+		_, isBuiltin := info.Uses[id].(*types.Builtin)
+		return isBuiltin
+	}
+	return false
+}
+
+func returnsError(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	last := ft.Results.List[len(ft.Results.List)-1]
+	t := info.TypeOf(last.Type)
+	return t != nil && t.String() == "error"
+}
+
+func inSpans(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s.lo && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- the statement/expression walk ----------------------------------
+
+type walker struct {
+	pass    *analysis.Pass
+	info    *types.Info
+	hot     map[*types.Func]bool
+	fname   string
+	helper  string // annotated root when fname is a must-inline helper
+	results *ast.FieldList
+	cold    []span
+	// loopVars holds the induction variables of the loops enclosing
+	// the current node, for the capture check.
+	loopVars map[types.Object]bool
+}
+
+// where renders the hot context of a finding.
+func (w *walker) where() string {
+	if w.helper != "" {
+		return w.fname + " (must-inline helper of hot path " + w.helper + ")"
+	}
+	return w.fname
+}
+
+func (w *walker) reportf(pos token.Pos, depth int, format string, args ...any) {
+	if inSpans(w.cold, pos) {
+		return
+	}
+	args = append(args, w.where(), depth)
+	w.pass.Reportf(pos, format+" in hot path %s (loop depth %d)", args...)
+}
+
+func (w *walker) stmtList(list []ast.Stmt, depth int) {
+	for _, s := range list {
+		w.stmt(s, depth)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, depth int) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmtList(s.List, depth)
+	case *ast.ForStmt:
+		w.stmt(s.Init, depth)
+		w.pushLoopVar(s.Init)
+		// Condition and post run once per iteration: body depth.
+		w.expr(s.Cond, depth+1)
+		w.stmt(s.Post, depth+1)
+		w.stmtList(s.Body.List, depth+1)
+	case *ast.RangeStmt:
+		w.expr(s.X, depth)
+		if t := w.info.TypeOf(s.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				w.reportf(s.Pos(), depth, "map range (nondeterministic order, per-iteration hashing)")
+			}
+		}
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := w.info.Defs[id]; obj != nil {
+					w.setLoopVar(obj)
+				}
+			}
+		}
+		w.stmtList(s.Body.List, depth+1)
+	case *ast.IfStmt:
+		w.stmt(s.Init, depth)
+		w.expr(s.Cond, depth)
+		w.stmtList(s.Body.List, depth)
+		w.stmt(s.Else, depth)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, depth)
+		w.expr(s.Tag, depth)
+		w.caseBodies(s.Body, depth)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, depth)
+		w.stmt(s.Assign, depth)
+		w.caseBodies(s.Body, depth)
+	case *ast.SelectStmt:
+		w.reportf(s.Pos(), depth, "select (blocking channel synchronization)")
+		w.caseBodies(s.Body, depth)
+	case *ast.DeferStmt:
+		w.reportf(s.Pos(), depth, "defer (per-call scheduling overhead, blocks inlining)")
+		w.expr(s.Call, depth)
+	case *ast.GoStmt:
+		w.expr(s.Call, depth)
+	case *ast.SendStmt:
+		w.reportf(s.Pos(), depth, "channel send")
+		w.expr(s.Chan, depth)
+		w.expr(s.Value, depth)
+	case *ast.AssignStmt:
+		w.checkAssign(s, depth)
+		for _, e := range s.Lhs {
+			w.expr(e, depth)
+		}
+		for _, e := range s.Rhs {
+			w.expr(e, depth)
+		}
+	case *ast.ReturnStmt:
+		w.checkReturn(s, depth)
+		for _, e := range s.Results {
+			w.expr(e, depth)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, depth)
+	case *ast.IncDecStmt:
+		w.expr(s.X, depth)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.checkVarSpec(vs, depth)
+					for _, v := range vs.Values {
+						w.expr(v, depth)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, depth)
+	default:
+		// Branch statements and empties carry no expressions.
+	}
+}
+
+func (w *walker) caseBodies(body *ast.BlockStmt, depth int) {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e, depth)
+			}
+			w.stmtList(c.Body, depth)
+		case *ast.CommClause:
+			w.stmt(c.Comm, depth)
+			w.stmtList(c.Body, depth)
+		}
+	}
+}
+
+func (w *walker) pushLoopVar(init ast.Stmt) {
+	as, ok := init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := w.info.Defs[id]; obj != nil {
+				w.setLoopVar(obj)
+			}
+		}
+	}
+}
+
+func (w *walker) setLoopVar(obj types.Object) {
+	if w.loopVars == nil {
+		w.loopVars = map[types.Object]bool{}
+	}
+	w.loopVars[obj] = true
+}
+
+func (w *walker) expr(e ast.Expr, depth int) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.call(e, depth)
+	case *ast.CompositeLit:
+		w.reportf(e.Pos(), depth, "composite literal allocates")
+		for _, el := range e.Elts {
+			w.expr(el, depth)
+		}
+	case *ast.FuncLit:
+		w.checkCapture(e, depth)
+		w.stmtList(e.Body.List, depth)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			w.reportf(e.Pos(), depth, "channel receive")
+		}
+		w.expr(e.X, depth)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && w.isString(e.X) {
+			w.reportf(e.Pos(), depth, "string concatenation allocates")
+		}
+		w.expr(e.X, depth)
+		w.expr(e.Y, depth)
+	case *ast.ParenExpr:
+		w.expr(e.X, depth)
+	case *ast.StarExpr:
+		w.expr(e.X, depth)
+	case *ast.SelectorExpr:
+		w.expr(e.X, depth)
+	case *ast.IndexExpr:
+		w.expr(e.X, depth)
+		w.expr(e.Index, depth)
+	case *ast.SliceExpr:
+		w.expr(e.X, depth)
+		w.expr(e.Low, depth)
+		w.expr(e.High, depth)
+		w.expr(e.Max, depth)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, depth)
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, depth)
+		w.expr(e.Value, depth)
+	}
+}
+
+func (w *walker) isString(e ast.Expr) bool {
+	t := w.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// ---- calls -----------------------------------------------------------
+
+func (w *walker) call(call *ast.CallExpr, depth int) {
+	// Conversions are free or cheap; walk the operand only.
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			w.expr(a, depth)
+		}
+		return
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		// Immediately-invoked literal: its body runs here.
+		w.checkCapture(fl, depth)
+		w.stmtList(fl.Body.List, depth)
+		for _, a := range call.Args {
+			w.expr(a, depth)
+		}
+		return
+	}
+	if id := builtinName(w.info, call.Fun); id != "" {
+		switch id {
+		case "make", "new":
+			w.reportf(call.Pos(), depth, "%s allocates", id)
+		case "append":
+			w.reportf(call.Pos(), depth, "append may grow and allocate")
+		case "close":
+			w.reportf(call.Pos(), depth, "channel close")
+		case "panic":
+			// The panic and everything it evaluates is a cold span;
+			// nothing to walk.
+			return
+		}
+		for _, a := range call.Args {
+			w.expr(a, depth)
+		}
+		return
+	}
+
+	callee := analysis.CalleeOf(w.info, call)
+	switch {
+	case callee == nil:
+		w.reportf(call.Pos(), depth, "dynamic call (function value or interface method) leaves the hot set")
+	case isSyncCall(callee):
+		if isPoolCall(callee) {
+			if depth > 0 {
+				w.reportf(call.Pos(), depth, "sync.Pool %s inside a loop (pool at call granularity, not per iteration)", callee.Name())
+			}
+		} else {
+			w.reportf(call.Pos(), depth, "sync.%s.%s (lock/synchronization op)", recvTypeName(callee), callee.Name())
+		}
+	case callee.Pkg() == nil:
+		// error.Error and friends from the universe scope: dynamic.
+		w.reportf(call.Pos(), depth, "dynamic call (function value or interface method) leaves the hot set")
+	case callee.Pkg() == w.pass.Pkg:
+		if !w.hot[callee] {
+			w.reportf(call.Pos(), depth, "call to %s, which is neither // abft:hotpath nor must-inline", callee.Name())
+		}
+	default:
+		path := callee.Pkg().Path()
+		if !intrinsicPkg(path) && !hotScope(path) {
+			w.reportf(call.Pos(), depth, "call to %s.%s leaves the hot-path scope", callee.Pkg().Name(), callee.Name())
+		}
+	}
+
+	w.checkCallBoxing(call, depth)
+	w.expr(call.Fun, depth)
+	for _, a := range call.Args {
+		w.expr(a, depth)
+	}
+}
+
+// intrinsicPkg lists the packages whose calls compile to instructions
+// or tight leaf code: the math intrinsics the kernels lean on.
+func intrinsicPkg(path string) bool {
+	return path == "math" || path == "math/bits"
+}
+
+func builtinName(info *types.Info, fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+		return id.Name
+	}
+	return ""
+}
+
+func isSyncCall(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync" && recvTypeName(fn) != ""
+}
+
+func isPoolCall(fn *types.Func) bool {
+	return isSyncCall(fn) && recvTypeName(fn) == "Pool" && (fn.Name() == "Get" || fn.Name() == "Put")
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// ---- interface boxing ------------------------------------------------
+
+// boxes reports whether assigning e to something of type dst converts
+// a non-pointer concrete value into an interface — the conversion that
+// heap-allocates. Pointer-shaped values (pointers, channels, maps,
+// funcs, unsafe pointers) box into the interface word without
+// allocating and are allowed.
+func (w *walker) boxes(dst types.Type, e ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	src := w.info.TypeOf(e)
+	if src == nil || types.IsInterface(src) {
+		return false
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if src.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *walker) reportBoxing(pos token.Pos, depth int, e ast.Expr) {
+	w.reportf(pos, depth, "%s boxes into an interface and allocates", w.info.TypeOf(e).String())
+}
+
+func (w *walker) checkCallBoxing(call *ast.CallExpr, depth int) {
+	callee := analysis.CalleeOf(w.info, call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, a := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if w.boxes(pt, a) {
+			w.reportBoxing(a.Pos(), depth, a)
+		}
+	}
+}
+
+func (w *walker) checkAssign(s *ast.AssignStmt, depth int) {
+	if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 && w.isString(s.Lhs[0]) {
+		w.reportf(s.Pos(), depth, "string concatenation allocates")
+		return
+	}
+	// := defines new variables at the RHS's type — no conversion, no
+	// boxing. Multi-value unpacking's types are fixed by the call.
+	if s.Tok != token.ASSIGN || len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if w.boxes(w.info.TypeOf(lhs), s.Rhs[i]) {
+			w.reportBoxing(s.Rhs[i].Pos(), depth, s.Rhs[i])
+		}
+	}
+}
+
+func (w *walker) checkVarSpec(vs *ast.ValueSpec, depth int) {
+	if vs.Type == nil {
+		return
+	}
+	t := w.info.TypeOf(vs.Type)
+	for _, v := range vs.Values {
+		if w.boxes(t, v) {
+			w.reportBoxing(v.Pos(), depth, v)
+		}
+	}
+}
+
+func (w *walker) checkReturn(s *ast.ReturnStmt, depth int) {
+	if w.results == nil || len(s.Results) != w.results.NumFields() {
+		return
+	}
+	i := 0
+	for _, f := range w.results.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := w.info.TypeOf(f.Type)
+		for k := 0; k < n && i < len(s.Results); k++ {
+			if w.boxes(t, s.Results[i]) {
+				w.reportBoxing(s.Results[i].Pos(), depth, s.Results[i])
+			}
+			i++
+		}
+	}
+}
+
+// ---- loop-variable capture -------------------------------------------
+
+func (w *walker) checkCapture(fl *ast.FuncLit, depth int) {
+	if len(w.loopVars) == 0 {
+		return
+	}
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.info.Uses[id]
+		if obj == nil || !w.loopVars[obj] || seen[obj] {
+			return true
+		}
+		seen[obj] = true
+		w.reportf(id.Pos(), depth, "closure captures loop variable %s (per-iteration allocation)", obj.Name())
+		return true
+	})
+}

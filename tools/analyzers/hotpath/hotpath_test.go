@@ -1,0 +1,19 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "testdata/src/hotpathtest",
+		analysistest.ImportAs("abftchol/internal/blas/hotpathtest"))
+}
+
+// TestHotpathScope loads an annotated allocating kernel under an
+// import path outside the hot packages; no diagnostics may fire.
+func TestHotpathScope(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "testdata/src/unscoped")
+}

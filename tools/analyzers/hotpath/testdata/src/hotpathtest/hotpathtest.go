@@ -1,0 +1,201 @@
+// Package hotpathtest exercises the hotpath analyzer: allocation and
+// boxing findings with loop depths, must-inline helper traversal,
+// cold-path exemptions, BCE hints, and the //nolint escape.
+package hotpathtest
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+type vec struct{ x, y float64 }
+
+var pool = sync.Pool{New: func() any { p := make([]float64, 64); return &p }}
+
+// kernelAlloc allocates at depth 0 and inside a loop.
+// abft:hotpath
+func kernelAlloc(cols [][]float64) {
+	buf := make([]float64, 8) // want "make allocates in hot path kernelAlloc \\(loop depth 0\\)"
+	_ = buf
+	for _, col := range cols {
+		tmp := make([]float64, 4) // want "make allocates in hot path kernelAlloc \\(loop depth 1\\)"
+		copy(tmp, col)
+	}
+}
+
+// kernelZeroTrip may run its loop zero times; the per-iteration
+// allocation is flagged regardless — the contract is syntactic.
+// abft:hotpath
+func kernelZeroTrip(s []float64) []float64 {
+	var out []float64
+	for range s {
+		out = append(out, 1) // want "append may grow and allocate in hot path kernelZeroTrip \\(loop depth 1\\)"
+	}
+	return out
+}
+
+// kernelMisc covers new, composite literals, and string concat.
+// abft:hotpath
+func kernelMisc(names []string) string {
+	p := new(float64) // want "new allocates"
+	_ = p
+	v := vec{1, 2} // want "composite literal allocates"
+	_ = v
+	s := ""
+	for _, n := range names {
+		s += n // want "string concatenation allocates in hot path kernelMisc \\(loop depth 1\\)"
+	}
+	return s
+}
+
+// kernelBox assigns a concrete value to an interface inside a loop.
+// abft:hotpath
+func kernelBox(vals []float64) any {
+	var sink any
+	for _, v := range vals {
+		sink = v // want "float64 boxes into an interface and allocates in hot path kernelBox \\(loop depth 1\\)"
+	}
+	return sink
+}
+
+// kernelCapture builds closures over the induction variable.
+// abft:hotpath
+func kernelCapture(fns *[]func(), n int) {
+	for i := 0; i < n; i++ {
+		*fns = append(*fns, func() { _ = i }) // want "append may grow" "closure captures loop variable i"
+	}
+}
+
+// kernelDefer defers the unlock it should inline.
+// abft:hotpath
+func kernelDefer(mu *sync.Mutex) {
+	mu.Lock()         // want "sync.Mutex.Lock \\(lock/synchronization op\\)"
+	defer mu.Unlock() // want "defer \\(per-call scheduling overhead" "sync.Mutex.Unlock \\(lock/synchronization op\\)"
+}
+
+// kernelSync covers channel traffic and map iteration.
+// abft:hotpath
+func kernelSync(ch chan int, m map[int]float64) float64 {
+	ch <- 1   // want "channel send"
+	x := <-ch // want "channel receive"
+	var s float64
+	for k := range m { // want "map range \\(nondeterministic order"
+		s += m[k]
+	}
+	return s + float64(x)
+}
+
+// kernelPool uses the sanctioned pooling idiom at depth 0 and abuses
+// it inside the loop.
+// abft:hotpath
+func kernelPool(n int) float64 {
+	bp := pool.Get().(*[]float64)
+	buf := *bp
+	var s float64
+	for i := 0; i < n; i++ {
+		q := pool.Get() // want "sync.Pool Get inside a loop"
+		_ = q
+		s += float64(i)
+	}
+	s += buf[0]
+	pool.Put(bp)
+	return s
+}
+
+// kernelDynamic calls through a function value.
+// abft:hotpath
+func kernelDynamic(f func()) {
+	f() // want "dynamic call \\(function value or interface method\\)"
+}
+
+// kernelFmt leaves the hot-path scope and boxes the argument.
+// abft:hotpath
+func kernelFmt(x float64) {
+	fmt.Println(x) // want "call to fmt.Println leaves the hot-path scope" "float64 boxes into an interface"
+}
+
+// kernelMath stays on the intrinsic allowlist: no findings.
+// abft:hotpath
+func kernelMath(x float64) float64 {
+	return math.Sqrt(x) * math.Abs(x)
+}
+
+// kernelCold allocates only on abort paths: error returns and panics
+// are exempt.
+// abft:hotpath
+func kernelCold(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n)
+	}
+	if n > 1<<20 {
+		panic(fmt.Sprintf("huge n %d", n))
+	}
+	return nil
+}
+
+// kernelNolint shows the sanctioned escape hatch.
+// abft:hotpath
+func kernelNolint(n int) []float64 {
+	return make([]float64, n) //nolint:hotpath — constructor, callers hoist and reuse the result
+}
+
+// bigHelper has a loop, so it is not must-inline: calls to it are
+// flagged and its body stays outside the hot set.
+func bigHelper(x []float64) {
+	tmp := make([]float64, len(x))
+	for i := range tmp {
+		tmp[i] = x[i] * 2
+	}
+	copy(x, tmp)
+}
+
+// kernelCallee calls a package-local function that is neither
+// annotated nor must-inline.
+// abft:hotpath
+func kernelCallee(x []float64) {
+	bigHelper(x) // want "call to bigHelper, which is neither"
+}
+
+// addTo is leaf-small, so the call graph pulls it into the hot set as
+// a must-inline helper of kernelHelper; its panic guard is cold, its
+// allocation is not.
+func addTo(x []float64, i int, v float64) {
+	if i >= len(x) {
+		panic("addTo: index out of range")
+	}
+	scratch := make([]float64, 1) // want "make allocates in hot path addTo \\(must-inline helper of hot path kernelHelper\\) \\(loop depth 0\\)"
+	scratch[0] = v
+	x[i] += scratch[0]
+}
+
+// kernelHelper reaches addTo; the call itself is clean.
+// abft:hotpath
+func kernelHelper(x []float64) {
+	for i := range x {
+		addTo(x, i, 1)
+	}
+}
+
+// kernelBCE exercises the bounds-check hints: ranged slices and
+// len-anchored re-slices pass, everything else is flagged.
+// abft:hotpath
+func kernelBCE(dst, src []float64, n int) {
+	for i := range dst {
+		dst[i] = src[i] // want "bounds check on src\\[i\\] is not eliminable; hoist a re-slice"
+	}
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] += src[i]
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = 0 // want "bounds check on dst\\[i\\] is not eliminable; hoist a re-slice"
+	}
+	d2 := dst[:n]
+	for i := 0; i < n; i++ {
+		d2[i] = 1
+	}
+	for j := 0; j < n; j++ {
+		dst[0] += src[j*2] // want "bounds check on src\\[j \\* 2\\] is not eliminable \\(index is not the loop induction variable\\)" "bounds check on dst\\[0\\] is not eliminable \\(index is not the loop induction variable\\)"
+	}
+}

@@ -1,0 +1,9 @@
+// Package unscoped carries an annotated hot-path violation under an
+// import path outside the analyzer's scope; no diagnostics may fire.
+package unscoped
+
+// kernel allocates per call, but this package is not in scope.
+// abft:hotpath
+func kernel(n int) []float64 {
+	return make([]float64, n)
+}

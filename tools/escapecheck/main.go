@@ -1,0 +1,415 @@
+// Command escapecheck proves the repository's performance annotations
+// against the real compiler rather than against a model of it. The
+// hotpath analyzer (tools/analyzers/hotpath) reasons about the AST; a
+// construct it accepts could still allocate or carry bounds checks
+// after SSA. escapecheck closes that gap: it rebuilds the hot packages
+// with `-m -m` (escape analysis) and `-d=ssa/check_bce` (bounds-check
+// elimination debugging) and diffs the compiler's diagnostics against
+// two declarative annotations in function doc comments:
+//
+//	// abft:noescape      — no value escapes to the heap anywhere in
+//	                        the function body outside cold lines
+//	// abft:bce checks=N  — the compiler emits exactly N bounds checks
+//	                        (IsInBounds + IsSliceInBounds) in the body
+//
+// Cold lines are exempt from noescape: the span of any panic(...)
+// statement, and the body of any if whose last statement returns or
+// panics (error guards and fail-stop exits — the paths the fused
+// kernels take only when the computation is already over).
+//
+// The bce count is a ratchet, not a target of zero: column-major
+// kernels legitimately keep once-per-column slice-formation checks and
+// strided scalar reads. Pinning the exact count means any regression —
+// a rewrite that re-introduces a per-element check in an inner loop —
+// shows up as a FAIL against the golden report in artifacts/.
+//
+// Usage:
+//
+//	go run ./tools/escapecheck                  # print report to stdout
+//	go run ./tools/escapecheck -write           # rewrite artifacts/escape-report.txt
+//	go run ./tools/escapecheck -check           # compare against the golden; exit 1 on drift
+//
+// The golden embeds the toolchain version; -check byte-compares only
+// when the running toolchain matches, and otherwise just requires a
+// FAIL-free report (diagnostic wording shifts across Go releases, the
+// invariants must not).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// packages lists the hot-path scope, mirroring the hotpath analyzer's
+// Scope. Order is the report order.
+var packages = []string{
+	"internal/blas",
+	"internal/checksum",
+	"internal/mat",
+}
+
+const goldenPath = "artifacts/escape-report.txt"
+
+func main() {
+	write := flag.Bool("write", false, "rewrite the golden report at "+goldenPath)
+	check := flag.Bool("check", false, "compare against the golden report; exit 1 on drift or FAIL")
+	flag.Parse()
+
+	report, nfail, err := buildReport(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "escapecheck:", err)
+		os.Exit(2)
+	}
+
+	switch {
+	case *write:
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "escapecheck:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(goldenPath, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "escapecheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("escapecheck: wrote %s (%d FAIL)\n", goldenPath, nfail)
+		if nfail > 0 {
+			os.Exit(1)
+		}
+	case *check:
+		os.Exit(checkGolden(report, nfail))
+	default:
+		fmt.Print(report)
+		if nfail > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// checkGolden compares the fresh report against the committed golden.
+func checkGolden(report string, nfail int) int {
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escapecheck: no golden report (%v); run `go run ./tools/escapecheck -write`\n", err)
+		return 1
+	}
+	if goldenVersion(string(golden)) == runtime.Version() {
+		if string(golden) != report {
+			fmt.Fprintln(os.Stderr, "escapecheck: report drifted from golden; diff follows")
+			printDiff(string(golden), report)
+			return 1
+		}
+		fmt.Printf("escapecheck: golden report up to date (%s)\n", runtime.Version())
+		return 0
+	}
+	// Different toolchain: exact diagnostic positions may shift, but
+	// every annotation must still hold.
+	if nfail > 0 {
+		fmt.Fprintf(os.Stderr, "escapecheck: %d annotation(s) FAIL under %s:\n", nfail, runtime.Version())
+		for _, line := range strings.Split(report, "\n") {
+			if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "  ") {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+		return 1
+	}
+	fmt.Printf("escapecheck: golden is for %s, running %s; all annotations PASS (golden not byte-compared)\n",
+		goldenVersion(string(golden)), runtime.Version())
+	return 0
+}
+
+func goldenVersion(golden string) string {
+	for _, line := range strings.Split(golden, "\n") {
+		if v, ok := strings.CutPrefix(line, "# go "); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+func printDiff(old, new string) {
+	om := map[string]bool{}
+	for _, l := range strings.Split(old, "\n") {
+		om[l] = true
+	}
+	nm := map[string]bool{}
+	for _, l := range strings.Split(new, "\n") {
+		nm[l] = true
+	}
+	for _, l := range strings.Split(old, "\n") {
+		if !nm[l] {
+			fmt.Fprintln(os.Stderr, "- "+l)
+		}
+	}
+	for _, l := range strings.Split(new, "\n") {
+		if !om[l] {
+			fmt.Fprintln(os.Stderr, "+ "+l)
+		}
+	}
+}
+
+// annotation is one abft:noescape or abft:bce claim on a function.
+type annotation struct {
+	file      string // repo-relative path
+	fn        string // function (or Type.Method) name
+	startLine int
+	endLine   int
+	noescape  bool
+	bce       bool
+	bceChecks int
+	cold      lineSet // cold lines within [startLine, endLine]
+}
+
+type lineSet map[int]bool
+
+// buildReport parses the hot packages, gathers annotations, replays
+// the compiler and renders the verdict report.
+func buildReport(root string) (string, int, error) {
+	var anns []*annotation
+	for _, pkg := range packages {
+		a, err := parsePackage(filepath.Join(root, pkg), pkg)
+		if err != nil {
+			return "", 0, err
+		}
+		anns = append(anns, a...)
+	}
+	escapes, checks, err := compileDiagnostics(root)
+	if err != nil {
+		return "", 0, err
+	}
+
+	sort.Slice(anns, func(i, j int) bool {
+		if anns[i].file != anns[j].file {
+			return anns[i].file < anns[j].file
+		}
+		return anns[i].startLine < anns[j].startLine
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# escapecheck report — compiler-proven hot-path annotations\n")
+	fmt.Fprintf(&b, "# go %s\n", runtime.Version())
+	fmt.Fprintf(&b, "# packages: %s\n\n", strings.Join(packages, " "))
+	nfail := 0
+	for _, a := range anns {
+		if a.noescape {
+			var bad []string
+			for _, e := range escapes[a.file] {
+				if e.line >= a.startLine && e.line <= a.endLine && !a.cold[e.line] {
+					bad = append(bad, fmt.Sprintf("%s:%d: %s", a.file, e.line, e.msg))
+				}
+			}
+			if len(bad) == 0 {
+				fmt.Fprintf(&b, "PASS %s:%s noescape\n", a.file, a.fn)
+			} else {
+				nfail++
+				fmt.Fprintf(&b, "FAIL %s:%s noescape — %d escape(s) on hot lines\n", a.file, a.fn, len(bad))
+				sort.Strings(bad)
+				for _, m := range bad {
+					fmt.Fprintf(&b, "  %s\n", m)
+				}
+			}
+		}
+		if a.bce {
+			got := 0
+			for _, c := range checks[a.file] {
+				if c >= a.startLine && c <= a.endLine && !a.cold[c] {
+					got++
+				}
+			}
+			if got == a.bceChecks {
+				fmt.Fprintf(&b, "PASS %s:%s bce checks=%d\n", a.file, a.fn, got)
+			} else {
+				nfail++
+				fmt.Fprintf(&b, "FAIL %s:%s bce declared checks=%d, compiler emitted %d\n", a.file, a.fn, a.bceChecks, got)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "\n# %d annotation claim(s), %d FAIL\n", countClaims(anns), nfail)
+	return b.String(), nfail, nil
+}
+
+func countClaims(anns []*annotation) int {
+	n := 0
+	for _, a := range anns {
+		if a.noescape {
+			n++
+		}
+		if a.bce {
+			n++
+		}
+	}
+	return n
+}
+
+var bceRe = regexp.MustCompile(`^abft:bce\s+checks=(\d+)$`)
+
+// parsePackage walks a package directory's non-test Go files and
+// collects annotated functions.
+func parsePackage(dir, rel string) ([]*annotation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var anns []*annotation
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				a := &annotation{
+					file:      filepath.Join(rel, filepath.Base(name)),
+					fn:        funcName(fd),
+					startLine: fset.Position(fd.Pos()).Line,
+					endLine:   fset.Position(fd.End()).Line,
+				}
+				for _, c := range fd.Doc.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if text == "abft:noescape" {
+						a.noescape = true
+					}
+					if m := bceRe.FindStringSubmatch(text); m != nil {
+						a.bce = true
+						a.bceChecks, _ = strconv.Atoi(m[1])
+					}
+				}
+				if !a.noescape && !a.bce {
+					continue
+				}
+				a.cold = coldLines(fset, fd.Body)
+				anns = append(anns, a)
+			}
+		}
+	}
+	return anns, nil
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		t = s.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// coldLines computes the syntactic cold spans of a function body: any
+// panic(...) statement, and the body of any if whose last statement is
+// a return or a panic. These are the error-guard and fail-stop paths;
+// allocations there (fmt.Sprintf arguments, error values) are the
+// point of the path, not a hot-loop leak.
+func coldLines(fset *token.FileSet, body *ast.BlockStmt) lineSet {
+	cold := lineSet{}
+	mark := func(n ast.Node) {
+		for l := fset.Position(n.Pos()).Line; l <= fset.Position(n.End()).Line; l++ {
+			cold[l] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isPanic(call) {
+				mark(s)
+			}
+		case *ast.IfStmt:
+			if len(s.Body.List) == 0 {
+				return true
+			}
+			switch last := s.Body.List[len(s.Body.List)-1].(type) {
+			case *ast.ReturnStmt:
+				mark(s.Body)
+			case *ast.ExprStmt:
+				if call, ok := last.X.(*ast.CallExpr); ok && isPanic(call) {
+					mark(s.Body)
+				}
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// diag is one compiler diagnostic pinned to a line.
+type diag struct {
+	line int
+	msg  string
+}
+
+var (
+	escapeRe = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*(?:escapes to heap|moved to heap).*)$`)
+	checkRe  = regexp.MustCompile(`^(.+\.go):(\d+):\d+: Found Is(?:Slice)?InBounds$`)
+)
+
+// compileDiagnostics rebuilds the hot packages with escape-analysis
+// and BCE debugging enabled and collects the diagnostics per file.
+// Diagnostics land on stderr; the go build cache replays them on
+// repeated identical invocations, so this is cheap after the first
+// run.
+func compileDiagnostics(root string) (escapes map[string][]diag, checks map[string][]int, err error) {
+	escapes = map[string][]diag{}
+	checks = map[string][]int{}
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pkg := range packages {
+		spec := fmt.Sprintf("%s/%s=-m -m -d=ssa/check_bce", module, pkg)
+		cmd := exec.Command("go", "build", "-gcflags="+spec, "./"+pkg)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, nil, fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if m := checkRe.FindStringSubmatch(line); m != nil {
+				file := filepath.ToSlash(m[1])
+				n, _ := strconv.Atoi(m[2])
+				checks[file] = append(checks[file], n)
+				continue
+			}
+			if m := escapeRe.FindStringSubmatch(line); m != nil {
+				file := filepath.ToSlash(m[1])
+				n, _ := strconv.Atoi(m[2])
+				escapes[file] = append(escapes[file], diag{line: n, msg: m[3]})
+			}
+		}
+	}
+	return escapes, checks, nil
+}
+
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if v, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(v), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in go.mod")
+}

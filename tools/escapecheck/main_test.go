@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root (where go.mod lives).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestGoldenReport proves the committed escape/BCE report still
+// matches what the compiler says about the annotated kernels. On the
+// exact toolchain the golden was generated with, the report must be
+// byte-identical (any drift means an annotation or a kernel changed
+// without regenerating). On other toolchains, diagnostic positions may
+// move, but every annotation must still PASS.
+func TestGoldenReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("escapecheck rebuilds packages with -m; skipped in -short")
+	}
+	root := repoRoot(t)
+	report, nfail, err := buildReport(root)
+	if err != nil {
+		t.Fatalf("buildReport: %v", err)
+	}
+	if nfail > 0 {
+		for _, line := range strings.Split(report, "\n") {
+			if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "  ") {
+				t.Error(line)
+			}
+		}
+		t.Fatalf("%d annotation(s) fail under %s", nfail, runtime.Version())
+	}
+	golden, err := os.ReadFile(filepath.Join(root, goldenPath))
+	if err != nil {
+		t.Fatalf("missing golden report: %v (run `go run ./tools/escapecheck -write`)", err)
+	}
+	if goldenVersion(string(golden)) != runtime.Version() {
+		t.Logf("golden is for %s, running %s; byte comparison skipped, all annotations PASS",
+			goldenVersion(string(golden)), runtime.Version())
+		return
+	}
+	if string(golden) != report {
+		t.Fatalf("report drifted from %s; run `go run ./tools/escapecheck -write`\n--- golden ---\n%s\n--- fresh ---\n%s",
+			goldenPath, golden, report)
+	}
+}
+
+// TestColdLines pins the syntactic cold-span rules the verdicts rely
+// on: panic statements and guard bodies ending in return/panic are
+// exempt, straight-line code is not.
+func TestColdLines(t *testing.T) {
+	src := `package p
+
+import "fmt"
+
+func f(n int) error {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n))
+	}
+	if n == 0 {
+		return fmt.Errorf("zero")
+	}
+	x := make([]int, n)
+	_ = x
+	return nil
+}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	anns, err := parsePackage(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 0 {
+		t.Fatalf("unannotated function produced %d annotations", len(anns))
+	}
+	// Re-parse with annotations to reach coldLines through the public path.
+	src = strings.Replace(src, "func f", "// abft:noescape\nfunc f", 1)
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	anns, err = parsePackage(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 1 {
+		t.Fatalf("got %d annotations, want 1", len(anns))
+	}
+	a := anns[0]
+	// With the marker comment the function starts at line 6; the panic
+	// guard body is lines 7-8, the error guard body lines 10-11, and
+	// the make sits on line 13 (hot).
+	for _, cold := range []int{8, 11} {
+		if !a.cold[cold] {
+			t.Errorf("line %d should be cold; cold set: %v", cold, a.cold)
+		}
+	}
+	if a.cold[13] {
+		t.Errorf("line 13 (make) must not be cold; cold set: %v", a.cold)
+	}
+}

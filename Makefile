@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-bench ci fmt bench trace-demo
+.PHONY: build test race lint lint-bench ci fmt bench trace-demo serve-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,16 @@ bench:
 	$(GO) run ./cmd/abftchol -exp all -quick -metrics-out artifacts/bench-metrics.json > /dev/null
 	$(GO) run ./tools/sweepbench -out BENCH_sweep.json -metrics-out artifacts/sweep-cache-metrics.json
 	$(GO) run ./tools/blasbench -out BENCH_blas.json
+
+# End-to-end check of the job daemon (docs/SERVICE.md): build abftd,
+# boot it on a random port, drive a submit → poll → fetch session,
+# prove dedup and warm-cache submissions execute zero kernels, and
+# SIGTERM through a graceful drain — twice, restarting against the
+# same result store. The transcript lands in artifacts/serve-smoke.txt
+# (CI uploads it).
+serve-smoke:
+	mkdir -p artifacts
+	$(GO) run ./tools/servesmoke
 
 # The observability artifacts CI uploads: a Perfetto-loadable Chrome
 # trace of the fig8 sweep's last run plus the sweep's metrics

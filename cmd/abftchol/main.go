@@ -31,16 +31,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"abftchol/internal/core"
 	"abftchol/internal/experiments"
-	"abftchol/internal/fault"
 	"abftchol/internal/hetsim"
 	"abftchol/internal/mat"
 	"abftchol/internal/obs"
 	"abftchol/internal/reliability"
+	"abftchol/internal/server"
 )
 
 func main() {
@@ -76,8 +75,15 @@ func main() {
 		parallel = flag.Int("parallel", 0, "sweep worker pool size; 0 = GOMAXPROCS, 1 = serial (output is byte-identical either way)")
 		useCache = flag.Bool("cache", false, "memoize model-plane results in an on-disk cache (see -cache-dir)")
 		cacheDir = flag.String("cache-dir", "artifacts/cache", "result cache location used by -cache")
+		srvAddr  = flag.String("server", "", "submit -run/-exp points to a running abftd daemon at this address instead of executing locally (docs/SERVICE.md)")
 	)
 	flag.Parse()
+
+	if *srvAddr != "" {
+		if err := checkRemoteFlags(*traceOut, *metricsOut, *useCache, *real, *trace); err != nil {
+			fatal(err)
+		}
+	}
 
 	stopProfile, err := startProfile(*pprofOut)
 	if err != nil {
@@ -119,13 +125,13 @@ func main() {
 		}
 		fmt.Println("verify")
 	case *expID != "":
-		sched := experiments.NewScheduler(*parallel, cache)
+		sched := newSched(*srvAddr, *parallel, cache)
 		if err := runExperiments(*expID, *csv, *quick, *plot, *jsonOut, oc, sched); err != nil {
 			fatal(err)
 		}
 		warnStoreErr(sched)
 	case *doRun:
-		sched := experiments.NewScheduler(1, cache)
+		sched := newSched(*srvAddr, 1, cache)
 		if err := runOne(runCfg{
 			machine: *machine, n: *n, scheme: *scheme, k: *k,
 			opt1: !*noOpt1, place: *place, real: *real,
@@ -144,6 +150,39 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "abftchol:", err)
 	os.Exit(1)
+}
+
+// newSched builds the execution engine: the local scheduler, or — with
+// -server — a remote one whose points are resolved by a running abftd
+// daemon through the reference client. Dedup, memoization, and replay
+// are identical either way, so -exp output is byte-identical local vs
+// remote (the daemon does its own caching and metrics accounting).
+func newSched(addr string, workers int, cache *experiments.Cache) *experiments.Scheduler {
+	if addr == "" {
+		return experiments.NewScheduler(workers, cache)
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	cl := &server.Client{Base: strings.TrimRight(addr, "/"), Name: "abftchol"}
+	return experiments.NewRemoteScheduler(workers, cl.RunPoint)
+}
+
+// checkRemoteFlags rejects flag combinations that need local
+// execution: observability capture and caching belong to the daemon in
+// -server mode, and real-plane inputs never leave the machine.
+func checkRemoteFlags(traceOut, metricsOut string, useCache, real, trace bool) error {
+	switch {
+	case traceOut != "" || metricsOut != "":
+		return fmt.Errorf("-trace-out/-metrics-out capture local instrumentation; with -server, fetch the daemon's /metrics or /v1/jobs/{id}/trace instead")
+	case useCache:
+		return fmt.Errorf("-cache is a local store; with -server, run the daemon with abftd -cache")
+	case real:
+		return fmt.Errorf("-real inputs stay local; remote jobs run on the timing model only")
+	case trace:
+		return fmt.Errorf("-trace renders a locally captured timeline; submit the job with \"trace\": true over the API instead (docs/SERVICE.md)")
+	}
+	return nil
 }
 
 // warnStoreErr surfaces a broken cache directory without failing the
@@ -230,66 +269,15 @@ func runExperiments(id string, csv, quick, plot, jsonOut bool, oc obsCfg, sched 
 	return oc.flush(cfg.Obs, id)
 }
 
-func parseScheme(s string) (core.Scheme, error) {
-	switch strings.ToLower(s) {
-	case "magma", "none":
-		return core.SchemeNone, nil
-	case "cula":
-		return core.SchemeCULA, nil
-	case "offline":
-		return core.SchemeOffline, nil
-	case "online":
-		return core.SchemeOnline, nil
-	case "enhanced":
-		return core.SchemeEnhanced, nil
-	case "scrub", "online+scrub":
-		return core.SchemeOnlineScrub, nil
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
-}
-
-func parsePlacement(s string) (core.Placement, error) {
-	switch strings.ToLower(s) {
-	case "auto":
-		return core.PlaceAuto, nil
-	case "cpu":
-		return core.PlaceCPU, nil
-	case "gpu":
-		return core.PlaceGPU, nil
-	case "inline":
-		return core.PlaceInline, nil
-	}
-	return 0, fmt.Errorf("unknown placement %q", s)
-}
-
-func parseInjections(spec string, delta float64) ([]fault.Scenario, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	var out []fault.Scenario
-	for _, part := range strings.Split(spec, ",") {
-		kindIter := strings.SplitN(strings.TrimSpace(part), "@", 2)
-		if len(kindIter) != 2 {
-			return nil, fmt.Errorf("bad injection %q, want kind@iter", part)
-		}
-		iter, err := strconv.Atoi(kindIter[1])
-		if err != nil {
-			return nil, fmt.Errorf("bad injection iteration in %q: %v", part, err)
-		}
-		var sc fault.Scenario
-		switch strings.ToLower(kindIter[0]) {
-		case "storage", "memory":
-			sc = fault.DefaultStorage(iter)
-		case "computation", "compute":
-			sc = fault.DefaultComputation(iter)
-		default:
-			return nil, fmt.Errorf("bad injection kind %q (want storage or computation)", kindIter[0])
-		}
-		sc.Delta = delta
-		out = append(out, sc)
-	}
-	return out, nil
-}
+// The flag spellings are the service API's spellings: the parsers
+// live in internal/server (shared by daemon and CLI), aliased here so
+// a JobRequest over HTTP and a flag set on the command line can never
+// drift apart.
+var (
+	parseScheme     = server.ParseScheme
+	parsePlacement  = server.ParsePlacement
+	parseInjections = server.ParseInjections
+)
 
 // runCfg bundles the -run mode's flags.
 type runCfg struct {
@@ -317,13 +305,9 @@ func runOne(c runCfg, oc obsCfg, sched *experiments.Scheduler) error {
 	if err != nil {
 		return err
 	}
-	vrt := core.LeftLooking
-	switch strings.ToLower(c.variant) {
-	case "left", "inner":
-	case "right", "outer":
-		vrt = core.RightLooking
-	default:
-		return fmt.Errorf("unknown variant %q (want left or right)", c.variant)
+	vrt, err := server.ParseVariant(c.variant)
+	if err != nil {
+		return err
 	}
 	o := core.Options{
 		Profile:          prof,

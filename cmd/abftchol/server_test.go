@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"abftchol/internal/experiments"
+	"abftchol/internal/server"
+)
+
+// captureRun renders one -run invocation and returns its stdout.
+func captureRun(t *testing.T, cfg runCfg, sched *experiments.Scheduler) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	runErr := runOne(cfg, obsCfg{}, sched)
+	w.Close()
+	os.Stdout = saved
+	data, readErr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("runOne: %v", runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(data)
+}
+
+// testDaemon boots an in-process abftd equivalent and returns its base
+// URL.
+func testDaemon(t *testing.T) string {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Workers: 2,
+		Clock:   server.Clock{Now: time.Now, After: time.After},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("daemon shutdown: %v", err)
+		}
+		ts.Close()
+	})
+	return ts.URL
+}
+
+// TestRunOneRemoteMatchesLocal is the CLI half of the differential
+// satellite: `-run` against a daemon renders byte-identical output to
+// the same flags run locally.
+func TestRunOneRemoteMatchesLocal(t *testing.T) {
+	cfg := runCfg{
+		machine: "laptop", scheme: "enhanced", place: "auto", variant: "left",
+		n: 512, k: 2, vectors: 2, opt1: true, inject: "storage@3", delta: 1e5,
+	}
+	local := captureRun(t, cfg, testSched())
+	remote := captureRun(t, cfg, newSched(testDaemon(t), 1, nil))
+	if local != remote {
+		t.Fatalf("-server output drifted from local:\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+	if local == "" {
+		t.Fatal("no output captured")
+	}
+}
+
+// TestExperimentRemoteMatchesLocal runs a whole quick experiment
+// through the remote scheduler: the replay engine assembles the same
+// bytes from daemon-served results.
+func TestExperimentRemoteMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remote sweep is a few hundred points")
+	}
+	render := func(sched *experiments.Scheduler) string {
+		t.Helper()
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved := os.Stdout
+		os.Stdout = w
+		runErr := runExperiments("fig12", false, true, false, false, obsCfg{}, sched)
+		w.Close()
+		os.Stdout = saved
+		data, _ := io.ReadAll(r)
+		r.Close()
+		if runErr != nil {
+			t.Fatalf("runExperiments: %v", runErr)
+		}
+		return string(data)
+	}
+	local := render(testSched())
+	remote := render(newSched(testDaemon(t), 4, nil))
+	if local != remote {
+		t.Fatalf("-exp output drifted local vs remote:\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+}
+
+func TestCheckRemoteFlags(t *testing.T) {
+	if err := checkRemoteFlags("", "", false, false, false); err != nil {
+		t.Fatalf("plain -server rejected: %v", err)
+	}
+	for _, bad := range []struct {
+		name                       string
+		traceOut, metricsOut       string
+		useCache, realData, traceF bool
+	}{
+		{name: "trace-out", traceOut: "x.json"},
+		{name: "metrics-out", metricsOut: "m.json"},
+		{name: "cache", useCache: true},
+		{name: "real", realData: true},
+		{name: "trace", traceF: true},
+	} {
+		if err := checkRemoteFlags(bad.traceOut, bad.metricsOut, bad.useCache, bad.realData, bad.traceF); err == nil {
+			t.Errorf("-server with -%s accepted", bad.name)
+		}
+	}
+}

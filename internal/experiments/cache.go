@@ -41,15 +41,18 @@ func (c *Cache) Dir() string { return c.dir }
 
 // cacheEntry is the on-disk form of one memoized point.
 type cacheEntry struct {
-	Format      int          `json:"format"`
-	Fingerprint string       `json:"fingerprint"`
-	Key         pointKey     `json:"key"`
-	Result      cachedResult `json:"result"`
+	Format      int        `json:"format"`
+	Fingerprint string     `json:"fingerprint"`
+	Key         pointKey   `json:"key"`
+	Result      WireResult `json:"result"`
 }
 
-// cachedResult mirrors core.Result minus the fields that cannot (the
+// WireResult mirrors core.Result minus the fields that cannot (the
 // timeline) or should not (the factor matrix) round-trip through JSON.
-type cachedResult struct {
+// It is both the cache's on-disk form and the job daemon's response
+// body (internal/server), so a result served over HTTP is exactly the
+// result a warm cache would have replayed.
+type WireResult struct {
 	Scheme            core.Scheme       `json:"scheme"`
 	Variant           core.Variant      `json:"variant"`
 	N                 int               `json:"n"`
@@ -70,8 +73,9 @@ type cachedResult struct {
 	CPUStats          hetsim.Stats      `json:"cpu_stats"`
 }
 
-func toCached(r core.Result) cachedResult {
-	return cachedResult{
+// ToWire strips a result down to its JSON-serializable fields.
+func ToWire(r core.Result) WireResult {
+	return WireResult{
 		Scheme: r.Scheme, Variant: r.Variant, N: r.N, B: r.B, K: r.K,
 		Placement: r.Placement, Time: r.Time, GFLOPS: r.GFLOPS,
 		Attempts: r.Attempts, Corrections: r.Corrections,
@@ -82,7 +86,9 @@ func toCached(r core.Result) cachedResult {
 	}
 }
 
-func (cr cachedResult) toResult() core.Result {
+// Result rebuilds the core.Result a wire form carries (no factor
+// matrix, no timeline).
+func (cr WireResult) Result() core.Result {
 	return core.Result{
 		Scheme: cr.Scheme, Variant: cr.Variant, N: cr.N, B: cr.B, K: cr.K,
 		Placement: cr.Placement, Time: cr.Time, GFLOPS: cr.GFLOPS,
@@ -113,7 +119,7 @@ func (c *Cache) Load(fp string) (core.Result, bool) {
 	if e.Format != cacheFormat || e.Fingerprint != fp {
 		return core.Result{}, false
 	}
-	return e.Result.toResult(), true
+	return e.Result.Result(), true
 }
 
 // Store writes one point's result. Errors are returned for the caller
@@ -123,7 +129,7 @@ func (c *Cache) Load(fp string) (core.Result, bool) {
 func (c *Cache) Store(o core.Options, r core.Result) error {
 	key := keyOf(o)
 	fp := key.fingerprint()
-	e := cacheEntry{Format: cacheFormat, Fingerprint: fp, Key: key, Result: toCached(r)}
+	e := cacheEntry{Format: cacheFormat, Fingerprint: fp, Key: key, Result: ToWire(r)}
 	data, err := json.MarshalIndent(&e, "", "  ")
 	if err != nil {
 		return fmt.Errorf("experiments: cache encode %s: %w", fp, err)

@@ -81,6 +81,14 @@ func fingerprint(o core.Options) string {
 	return keyOf(o).fingerprint()
 }
 
+// Fingerprint exposes the canonical point fingerprint to other
+// packages: the job daemon (internal/server) uses it as the dedup and
+// result-store key for submitted jobs, so a job's identity over HTTP
+// is exactly its identity in the sweep engine and the on-disk cache.
+func Fingerprint(o core.Options) string {
+	return fingerprint(o)
+}
+
 func (k pointKey) fingerprint() string {
 	blob, err := json.Marshal(k)
 	if err != nil {

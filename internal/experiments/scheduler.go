@@ -40,6 +40,13 @@ type Scheduler struct {
 	workers int
 	cache   *Cache
 	sem     chan struct{}
+	// runFn resolves one point; core.Run locally, or an HTTP client's
+	// submit-and-wait when the scheduler fronts a remote daemon
+	// (NewRemoteScheduler). remote marks the latter: remote points
+	// record no local metric deltas (the daemon accounts them) and a
+	// requested trace cannot be fetched, only re-recorded locally.
+	runFn  func(core.Options) (core.Result, error)
+	remote bool
 
 	mu       sync.Mutex // guards: memo, storeErr
 	memo     map[string]*outcome
@@ -71,8 +78,24 @@ func NewScheduler(workers int, cache *Cache) *Scheduler {
 		workers: workers,
 		cache:   cache,
 		sem:     make(chan struct{}, workers),
+		runFn:   core.Run,
 		memo:    make(map[string]*outcome),
 	}
+}
+
+// NewRemoteScheduler builds a sweep engine whose points are resolved
+// by runFn — typically server.Client.RunPoint, which submits the
+// options to a running abftd daemon and waits for the result — instead
+// of executing locally. Deduplication, memoization, and deterministic
+// replay are unchanged, so `-exp` output assembled from remote results
+// is byte-identical to a local run; the daemon does its own caching,
+// so no local disk cache is attached. Metric deltas stay on the
+// daemon's registry (fetch its /metrics), and traces are not captured.
+func NewRemoteScheduler(workers int, runFn func(core.Options) (core.Result, error)) *Scheduler {
+	s := NewScheduler(workers, nil)
+	s.runFn = runFn
+	s.remote = true
+	return s
 }
 
 // Workers returns the concurrency bound.
@@ -114,7 +137,7 @@ func (s *Scheduler) Execute(points []core.Options, sink *Obs) []PointResult {
 		fps[i] = fingerprint(o)
 	}
 	traceFP := ""
-	if sink != nil && sink.CaptureTrace && len(points) > 0 {
+	if sink != nil && sink.CaptureTrace && len(points) > 0 && !s.remote {
 		traceFP = fps[len(points)-1]
 	}
 
@@ -210,11 +233,11 @@ func (s *Scheduler) runPoint(fp string, o core.Options, sink *Obs, oc *outcome, 
 	run := o
 	run.Trace = wantTrace
 	run.Metrics = nil
-	if sink != nil && sink.Metrics != nil {
+	if sink != nil && sink.Metrics != nil && !s.remote {
 		oc.delta = obs.NewRegistry()
 		run.Metrics = oc.delta
 	}
-	oc.res, oc.err = core.Run(run)
+	oc.res, oc.err = s.runFn(run)
 	oc.executed = true
 	if s.cache != nil && cacheable && oc.err == nil {
 		if err := s.cache.Store(o, oc.res); err != nil {

@@ -125,6 +125,13 @@ func buildCatalog() []MetricDef {
 	add("sweep.dedup.hits", Counter, "", "planned points served from an identical point already run in this process")
 	add("sweep.cache.hits", Counter, "", "planned points served from the on-disk result cache without executing")
 	add("sweep.cache.stores", Counter, "", "results the sweep engine wrote to the on-disk cache")
+	add("server.jobs.submitted", Counter, "", "jobs the daemon accepted past admission control (202 responses)")
+	add("server.jobs.done", Counter, "", "jobs that reached state done")
+	add("server.jobs.deduped", Counter, "", "done jobs served without a new execution — an identical concurrent job's singleflight result or an on-disk cache hit")
+	add("server.jobs.failed", Counter, "", "jobs that reached state failed (run error or deadline)")
+	add("server.jobs.canceled", Counter, "", "jobs canceled while queued, by clients or by shutdown")
+	add("server.jobs.rejected.rate", Counter, "", "submissions refused 429 by the per-client token bucket")
+	add("server.jobs.rejected.queue", Counter, "", "submissions refused 429 because the bounded job queue was full")
 	return c
 }
 

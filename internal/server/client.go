@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"abftchol/internal/core"
+)
+
+// Client is the daemon's reference HTTP client; cmd/abftchol's
+// -server flag is built on it, and Client.RunPoint plugs into
+// experiments.NewRemoteScheduler so whole sweeps execute remotely.
+// Polling is server-side (?wait= long-poll), so the client never
+// sleeps — it stays within the detorder analyzer's no-wall-clock
+// discipline.
+type Client struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:8787".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Name, when set, is sent as the X-Client header — the daemon's
+	// rate-limit key.
+	Name string
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do runs one exchange, decoding the response into out (unless nil)
+// and turning error envelopes into *APIError values.
+func (c *Client) do(method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("server client: encode %s %s: %w", method, path, err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return fmt.Errorf("server client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Name != "" {
+		req.Header.Set("X-Client", c.Name)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("server client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("server client: read %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode >= 400 {
+		var envelope APIError
+		if json.Unmarshal(data, &envelope) == nil && envelope.Err.Code != "" {
+			return &envelope
+		}
+		return fmt.Errorf("server client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("server client: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// Submit posts one job.
+func (c *Client) Submit(req JobRequest) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(http.MethodPost, "/v1/jobs", req, &info)
+	return info, err
+}
+
+// Wait long-polls the job until it is terminal. Each round trip asks
+// the daemon to hold the request up to the server's wait cap; a
+// response in a non-terminal state (wait expired, or the daemon is
+// draining) simply polls again.
+func (c *Client) Wait(id string) (JobInfo, error) {
+	for {
+		var info JobInfo
+		if err := c.do(http.MethodGet, "/v1/jobs/"+id+"?wait=60s", nil, &info); err != nil {
+			return info, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+	}
+}
+
+// Result fetches a done job's result.
+func (c *Client) Result(id string) (JobResult, error) {
+	var res JobResult
+	err := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res)
+	return res, err
+}
+
+// JobMetrics fetches a job's private metrics snapshot — the bytes a
+// local run of the same options would have written with -metrics-out.
+func (c *Client) JobMetrics(id string) ([]byte, error) {
+	return c.raw("/v1/jobs/" + id + "/metrics")
+}
+
+// Metrics fetches the daemon's global metrics snapshot.
+func (c *Client) Metrics() ([]byte, error) {
+	return c.raw("/metrics")
+}
+
+// Trace fetches a job's Chrome trace-event timeline.
+func (c *Client) Trace(id string) ([]byte, error) {
+	return c.raw("/v1/jobs/" + id + "/trace")
+}
+
+// Health fetches the daemon health summary.
+func (c *Client) Health() (Health, error) {
+	var h Health
+	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// raw fetches a non-envelope body (snapshots, traces).
+func (c *Client) raw(path string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("server client: %w", err)
+	}
+	if c.Name != "" {
+		req.Header.Set("X-Client", c.Name)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("server client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("server client: read %s: %w", path, err)
+	}
+	if resp.StatusCode >= 400 {
+		var envelope APIError
+		if json.Unmarshal(data, &envelope) == nil && envelope.Err.Code != "" {
+			return nil, &envelope
+		}
+		return nil, fmt.Errorf("server client: GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return data, nil
+}
+
+// RunPoint resolves one options point through the daemon: submit,
+// wait, fetch. It is the runFn for experiments.NewRemoteScheduler —
+// a remote sweep is a local sweep whose kernel invocations happen on
+// the other side of this call. A failed job surfaces as the run
+// error, exactly as core.Run would have returned it locally.
+func (c *Client) RunPoint(o core.Options) (core.Result, error) {
+	req, err := RequestFromOptions(o)
+	if err != nil {
+		return core.Result{}, err
+	}
+	info, err := c.Submit(req)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("submit: %w", err)
+	}
+	info, err = c.Wait(info.ID)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("wait %s: %w", info.ID, err)
+	}
+	if info.State != StateDone {
+		return core.Result{}, fmt.Errorf("%s", info.Error)
+	}
+	res, err := c.Result(info.ID)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("result %s: %w", info.ID, err)
+	}
+	return res.Result.Result(), nil
+}

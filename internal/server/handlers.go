@@ -1,0 +1,387 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"abftchol/internal/experiments"
+	"abftchol/internal/obs"
+)
+
+// Route documents one endpoint; docs/SERVICE.md renders this table
+// and the drift test pins the two together.
+type Route struct {
+	Method  string
+	Pattern string
+	Summary string
+}
+
+// Routes is the daemon's full API surface, in registration order.
+func Routes() []Route {
+	return []Route{
+		{"GET", "/healthz", "liveness, queue occupancy, and per-state job counts"},
+		{"GET", "/metrics", "global metrics snapshot: every job's kernel counters merged, plus the server.* counters"},
+		{"POST", "/v1/jobs", "submit a factorization job; responds 202 with the job status and a Location header"},
+		{"GET", "/v1/jobs", "list all jobs in submission order"},
+		{"GET", "/v1/jobs/{id}", "job status; `?wait=30s` long-polls until the job is terminal or the wait expires"},
+		{"DELETE", "/v1/jobs/{id}", "cancel a queued job (running factorizations are not preemptible)"},
+		{"GET", "/v1/jobs/{id}/events", "Server-Sent Events stream of state transitions, ending at the terminal state"},
+		{"GET", "/v1/jobs/{id}/result", "the factorization result (jobs in state done)"},
+		{"GET", "/v1/jobs/{id}/metrics", "this job's private metrics snapshot — byte-identical to a local run's -metrics-out"},
+		{"GET", "/v1/jobs/{id}/trace", "Chrome/Perfetto trace-event timeline (jobs submitted with \"trace\": true)"},
+	}
+}
+
+// maxWait caps ?wait= long-polls; clients re-poll, the connection is
+// not a lease.
+const maxWait = 60 * time.Second
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	return mux
+}
+
+// writeJSON renders v indented; every body the daemon emits is
+// deterministic given a deterministic clock, which is what lets
+// docs/SERVICE.md embed real captured exchanges.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// v is one of the closed wire structs; failure is programmer error.
+		fmt.Fprintf(w, "{\"error\":{\"code\":\"internal\",\"message\":%q}}\n", err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// fail writes the error envelope.
+func failJSON(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	writeJSON(w, status, &APIError{Err: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// clientKey identifies a submitter for rate limiting: the X-Client
+// header when present, else the remote host.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		failJSON(w, http.StatusServiceUnavailable, "draining", "daemon is shutting down; submissions are closed")
+		return
+	}
+	if s.limiter != nil {
+		if ok, retry := s.limiter.allow(clientKey(r)); !ok {
+			s.reg.Inc("server.jobs.rejected.rate")
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retry)))
+			failJSON(w, http.StatusTooManyRequests, "rate_limited", "client %q exhausted its token bucket; retry after %d s", clientKey(r), retrySeconds(retry))
+			return
+		}
+	}
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		failJSON(w, http.StatusBadRequest, "invalid_request", "decode body: %v", err)
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		failJSON(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+	fp := experiments.Fingerprint(opts)
+	j, ok := s.newJob(req, opts, fp)
+	if !ok {
+		failJSON(w, http.StatusServiceUnavailable, "draining", "daemon is shutting down; submissions are closed")
+		return
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.dropJob(j)
+		s.reg.Inc("server.jobs.rejected.queue")
+		w.Header().Set("Retry-After", "1")
+		failJSON(w, http.StatusTooManyRequests, "queue_full", "job queue is at capacity (%d); retry after 1 s", s.cfg.QueueDepth)
+		return
+	}
+	s.reg.Inc("server.jobs.submitted")
+	s.mu.Lock()
+	info := s.infoLocked(j)
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+// retrySeconds rounds a wait up to whole header seconds (minimum 1).
+func retrySeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]JobInfo, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		infos = append(infos, s.infoLocked(j))
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, k int) bool { return infos[i].ID < infos[k].ID })
+	writeJSON(w, http.StatusOK, JobList{Jobs: infos})
+}
+
+// lookup resolves a path's job ID, writing the 404 itself on a miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		failJSON(w, http.StatusNotFound, "unknown_job", "no job %q (IDs do not survive daemon restarts)", id)
+	}
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var wait time.Duration
+	if wq := r.URL.Query().Get("wait"); wq != "" {
+		d, err := time.ParseDuration(wq)
+		if err != nil || d < 0 {
+			failJSON(w, http.StatusBadRequest, "invalid_request", "bad wait %q: want a duration like 30s", wq)
+			return
+		}
+		if d > maxWait {
+			d = maxWait
+		}
+		wait = d
+	}
+	var expired <-chan time.Time
+	if wait > 0 {
+		expired = s.cfg.Clock.After(wait)
+	}
+	for {
+		s.mu.Lock()
+		info := s.infoLocked(j)
+		ch := j.changed
+		s.mu.Unlock()
+		if wait == 0 || info.State.Terminal() {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+		select {
+		case <-ch:
+			// state moved; re-snapshot
+		case <-expired:
+			writeJSON(w, http.StatusOK, info)
+			return
+		case <-s.quit:
+			writeJSON(w, http.StatusOK, info)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	if j.state != StateQueued {
+		state := j.state
+		s.mu.Unlock()
+		failJSON(w, http.StatusConflict, "not_cancelable", "job %s is %s; only queued jobs can be canceled", j.id, state)
+		return
+	}
+	j.state = StateCanceled
+	j.errMsg = "canceled by client"
+	j.finished = now
+	s.broadcastLocked(j)
+	info := s.infoLocked(j)
+	s.mu.Unlock()
+	s.reg.Inc("server.jobs.canceled")
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	idx := 0
+	for {
+		s.mu.Lock()
+		events := append([]stateEvent(nil), j.history[idx:]...)
+		ch := j.changed
+		terminal := j.state.Terminal()
+		s.mu.Unlock()
+		idx += len(events)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.State, data)
+		}
+		if len(events) > 0 && canFlush {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-ch:
+		case <-s.quit:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	state := j.state
+	executed := j.executed
+	res := j.result
+	errMsg := j.errMsg
+	s.mu.Unlock()
+	switch {
+	case state == StateDone:
+		writeJSON(w, http.StatusOK, JobResult{
+			ID: j.id, Fingerprint: j.fp, Executed: executed,
+			Result: experiments.ToWire(res),
+		})
+	case state.Terminal():
+		failJSON(w, http.StatusConflict, "job_failed", "job %s %s: %s", j.id, state, errMsg)
+	default:
+		failJSON(w, http.StatusConflict, "not_finished", "job %s is %s; poll /v1/jobs/%s?wait=30s until done", j.id, state, j.id)
+	}
+}
+
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	snap := j.metrics
+	state := j.state
+	errMsg := j.errMsg
+	s.mu.Unlock()
+	switch {
+	case snap != nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(snap)
+	case state.Terminal():
+		failJSON(w, http.StatusConflict, "job_failed", "job %s %s before recording metrics: %s", j.id, state, errMsg)
+	default:
+		failJSON(w, http.StatusConflict, "not_finished", "job %s is %s; metrics exist once the job is terminal", j.id, state)
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	tr := j.trace
+	state := j.state
+	n, k := j.opts.N, j.opts.K
+	scheme := j.req.Scheme
+	s.mu.Unlock()
+	switch {
+	case tr != nil:
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, tr, map[string]string{
+			"tool": "abftd",
+			"job":  j.id,
+			"run":  fmt.Sprintf("%s n=%d K=%d", scheme, n, k),
+		})
+	case !state.Terminal():
+		failJSON(w, http.StatusConflict, "not_finished", "job %s is %s; the trace exists once the job is done", j.id, state)
+	default:
+		failJSON(w, http.StatusNotFound, "no_trace", "job %s recorded no timeline; submit with \"trace\": true", j.id)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.reg.Snapshot()
+	if err != nil {
+		failJSON(w, http.StatusInternalServerError, "internal", "metrics snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(snap)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	depth := len(s.queue)
+	s.mu.Lock()
+	counts := make(map[State]int)
+	for _, j := range s.jobs {
+		counts[j.state]++
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, Health{
+		Status:        status,
+		Workers:       s.cfg.Workers,
+		QueueDepth:    depth,
+		QueueCapacity: s.cfg.QueueDepth,
+		Jobs:          counts,
+	})
+}

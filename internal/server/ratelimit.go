@@ -1,0 +1,71 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client starts with
+// burst tokens, every submission spends one, and tokens refill at rate
+// per second up to burst. Time comes from the injected clock, so the
+// limiter is as deterministic as its caller — a fixed clock never
+// refills, which is exactly what the documentation generator uses to
+// capture a reproducible 429.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex // guards: buckets
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate, burst float64, now func() time.Time) *rateLimiter {
+	return &rateLimiter{rate: rate, burst: burst, now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token for key. When the bucket is empty it reports
+// false and how long until a full token has refilled — the Retry-After
+// hint.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		pruneBuckets(l.buckets, l.burst)
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// pruneBuckets caps the bucket map: full buckets carry no history (a
+// new bucket behaves identically), so they are safe to forget. The
+// caller holds the limiter lock and passes the guarded map in.
+func pruneBuckets(buckets map[string]*bucket, burst float64) {
+	if len(buckets) < 1024 {
+		return
+	}
+	for k, b := range buckets {
+		if b.tokens >= burst {
+			delete(buckets, k)
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package server is the ABFT-as-a-service layer: a small HTTP+JSON
+// daemon (cmd/abftd) that accepts factorization jobs, executes them on
+// the sweep engine's scheduler, and serves results, traces, and
+// metrics. The request plane deliberately owns nothing numerical — a
+// job is parsed into the same core.Options a CLI run builds, its
+// identity is the scheduler's canonical fingerprint, and its result is
+// the cache's wire form — so serving a point over HTTP is
+// byte-equivalent to running it locally (the differential tests pin
+// this).
+//
+// Concurrency shape: submissions pass admission control (a token
+// bucket per client, then a bounded queue) and park as queued jobs; a
+// fixed worker pool drains the queue, running each job through one
+// shared experiments.Scheduler, whose singleflight memoization merges
+// identical concurrent submissions into one execution. All wall-clock
+// access goes through an injected Clock so the package stays inside
+// the detorder analyzer's scope; cmd/abftd wires the real clock.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"abftchol/internal/core"
+	"abftchol/internal/experiments"
+	"abftchol/internal/hetsim"
+	"abftchol/internal/obs"
+)
+
+// Clock abstracts the two time operations the daemon needs. The
+// detorder analyzer bans direct wall-clock reads in this package
+// (deterministic-output discipline); production wiring lives in
+// cmd/abftd (RealClock there), and tests or documentation generators
+// substitute fixed clocks to make whole HTTP sessions reproducible.
+type Clock struct {
+	Now   func() time.Time
+	After func(time.Duration) <-chan time.Time
+}
+
+// Config parameterizes a daemon.
+type Config struct {
+	// Workers bounds concurrent factorizations (<= 0 means 4).
+	Workers int
+	// QueueDepth bounds accepted-but-unstarted jobs (<= 0 means 64);
+	// submissions beyond it are rejected with 429 queue_full.
+	QueueDepth int
+	// JobTimeout bounds a job's life from submission; 0 means none. An
+	// expired job is failed (the factorization itself, once started, is
+	// not preemptible — its goroutine is joined at shutdown).
+	JobTimeout time.Duration
+	// RatePerSec and RateBurst configure the per-client token bucket
+	// (keyed by X-Client header, else the remote host). RatePerSec <= 0
+	// disables rate limiting; RateBurst <= 0 defaults to 8.
+	RatePerSec float64
+	RateBurst  int
+	// Cache, when set, is the on-disk result store shared with the CLI:
+	// a job whose fingerprint was ever executed — by any process — is
+	// served without running a kernel.
+	Cache *experiments.Cache
+	// Clock is required (see type comment).
+	Clock Clock
+	// MetricsPath, when set, receives the global registry snapshot on
+	// shutdown — the "flush metrics" half of graceful drain.
+	MetricsPath string
+}
+
+// stateEvent is one lifecycle transition, kept per job for the SSE
+// stream.
+type stateEvent struct {
+	State State     `json:"state"`
+	Time  time.Time `json:"time"`
+	Error string    `json:"error,omitempty"`
+}
+
+// job is one submission's full lifecycle. All mutable fields are
+// guarded by Server.mu; execDone is closed by the executing goroutine
+// and changed is closed-and-replaced on every transition (a broadcast
+// that long-polls and SSE streams select on).
+type job struct {
+	id   string
+	fp   string
+	req  JobRequest
+	opts core.Options
+
+	state     State
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	executed  bool
+	result    core.Result
+	metrics   []byte // this job's private registry snapshot
+	trace     *hetsim.Trace
+	history   []stateEvent
+	changed   chan struct{}
+	execDone  chan struct{}
+}
+
+// Server is the daemon: an HTTP handler plus the worker pool behind
+// it. Construct with New, serve with Serve (or mount Handler in a test
+// server), and always Shutdown — the workers are live goroutines.
+type Server struct {
+	cfg     Config
+	sched   *experiments.Scheduler
+	reg     *obs.Registry // global /metrics registry; jobs merge in on completion
+	limiter *rateLimiter
+	queue   chan *job
+	quit    chan struct{} // closed by Shutdown: stop accepting, drain
+	httpSrv *http.Server
+	mux     *http.ServeMux
+
+	workerWG sync.WaitGroup // the fixed worker pool
+	execWG   sync.WaitGroup // in-flight factorizations (may outlive their worker on timeout)
+
+	mu       sync.Mutex // guards: jobs, seq, draining
+	jobs     map[string]*job
+	seq      int
+	draining bool
+}
+
+// New builds a daemon and starts its worker pool. The caller owns the
+// lifecycle: Serve (or Handler) to expose it, Shutdown to drain it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Clock.Now == nil || cfg.Clock.After == nil {
+		return nil, fmt.Errorf("server: Config.Clock is required (cmd/abftd wires the real clock; tests inject fixed ones)")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RateBurst <= 0 {
+		cfg.RateBurst = 8
+	}
+	s := &Server{
+		cfg:   cfg,
+		sched: experiments.NewScheduler(cfg.Workers, cfg.Cache),
+		reg:   obs.NewRegistry(),
+		queue: make(chan *job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		jobs:  make(map[string]*job),
+	}
+	if cfg.RatePerSec > 0 {
+		s.limiter = newRateLimiter(cfg.RatePerSec, float64(cfg.RateBurst), cfg.Clock.Now)
+	}
+	s.mux = s.routes()
+	s.httpSrv = &http.Server{Handler: s.mux}
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler, for mounting in tests
+// without a listener.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. A closed-listener
+// exit is a clean return, not an error.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown is the graceful drain: mark draining (submissions get 503),
+// close the listener and wait for in-flight handlers, let the workers
+// finish every job already accepted, then flush the metrics snapshot.
+// If ctx expires first, still-queued jobs are canceled so the drain
+// converges (running factorizations are joined regardless — core.Run
+// always terminates). Safe to call once; later calls return nil
+// immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.quit)
+
+	// Listener first: stop accepting. Long-polls and SSE streams select
+	// on quit, so handlers return promptly.
+	httpErr := s.httpSrv.Shutdown(ctx)
+
+	finished := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		// A submission racing the quit signal can land in the queue
+		// after every worker saw it empty and exited; the listener is
+		// closed so the queue is final — drain any such straggler.
+		// (Canceled-by-deadline jobs pass through here too and are
+		// skipped by claimRunning.)
+	drain:
+		for {
+			select {
+			case j := <-s.queue:
+				s.process(j)
+			default:
+				break drain
+			}
+		}
+		s.execWG.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		s.cancelQueued("canceled: daemon shutdown deadline expired before the job started")
+		<-finished
+	}
+	// Anything still queued lost the submit/drain race and will never
+	// be picked up; give it a terminal state so watchers unblock.
+	s.cancelQueued("canceled: daemon shut down before the job started")
+
+	if s.cfg.MetricsPath != "" {
+		snap, err := s.reg.Snapshot()
+		if err == nil {
+			err = os.WriteFile(s.cfg.MetricsPath, snap, 0o644)
+		}
+		if err != nil && httpErr == nil {
+			httpErr = fmt.Errorf("server: metrics flush: %w", err)
+		}
+	}
+	return httpErr
+}
+
+// Metrics returns the global registry snapshot (the /metrics body).
+func (s *Server) Metrics() ([]byte, error) { return s.reg.Snapshot() }
+
+// worker drains the queue until quit, then drains whatever was already
+// accepted and exits.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.process(j)
+		case <-s.quit:
+			for {
+				select {
+				case j := <-s.queue:
+					s.process(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process runs one dequeued job: claim it (it may have been canceled
+// while queued, or its deadline may have passed), execute on a
+// tracked goroutine, and wait for completion or the deadline —
+// whichever first. On timeout the job is failed and the worker moves
+// on; the factorization goroutine finishes in the background and is
+// joined by Shutdown via execWG.
+func (s *Server) process(j *job) {
+	now := s.cfg.Clock.Now()
+	var deadline time.Time
+	if s.cfg.JobTimeout > 0 {
+		deadline = j.submitted.Add(s.cfg.JobTimeout)
+		if !now.Before(deadline) {
+			s.fail(j, StateQueued, "timeout: job expired while queued")
+			return
+		}
+	}
+	if !s.claimRunning(j, now) {
+		return // canceled while queued
+	}
+	s.execWG.Add(1)
+	go s.execJob(j)
+	if deadline.IsZero() {
+		<-j.execDone
+		return
+	}
+	select {
+	case <-j.execDone:
+	case <-s.cfg.Clock.After(deadline.Sub(now)):
+		s.fail(j, StateRunning, fmt.Sprintf("timeout: exceeded the %s job deadline", s.cfg.JobTimeout))
+	}
+}
+
+// execJob performs the factorization through the shared scheduler and
+// publishes the outcome. Each job records into a private registry —
+// that snapshot is the job's /metrics body, byte-identical to what a
+// local CLI run of the same options would have written — and the
+// delta merges into the global registry afterwards. A job that lost a
+// timeout race keeps its failed state; the execution's metrics still
+// merge (the work did happen).
+func (s *Server) execJob(j *job) {
+	defer s.execWG.Done()
+	defer close(j.execDone)
+	sink := &experiments.Obs{Metrics: obs.NewRegistry(), CaptureTrace: j.opts.Trace}
+	pr := s.sched.Execute([]core.Options{j.opts}, sink)[0]
+	snap, snapErr := sink.Metrics.Snapshot()
+	tr, _ := sink.LastTrace()
+
+	s.reg.Merge(sink.Metrics)
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	transitioned := j.state == StateRunning
+	if transitioned {
+		j.executed = pr.Executed
+		j.metrics = snap
+		j.trace = tr
+		j.result = pr.Result
+		j.finished = now
+		switch {
+		case snapErr != nil:
+			j.state = StateFailed
+			j.errMsg = fmt.Sprintf("metrics snapshot: %v", snapErr)
+		case pr.Err != nil:
+			j.state = StateFailed
+			j.errMsg = pr.Err.Error()
+		default:
+			j.state = StateDone
+		}
+		s.broadcastLocked(j)
+	}
+	state, executed := j.state, j.executed
+	s.mu.Unlock()
+
+	if !transitioned {
+		return // lost a timeout race; fail() already accounted it
+	}
+	switch {
+	case state == StateDone && executed:
+		s.reg.Inc("server.jobs.done")
+	case state == StateDone:
+		s.reg.Inc("server.jobs.done")
+		s.reg.Inc("server.jobs.deduped")
+	case state == StateFailed:
+		s.reg.Inc("server.jobs.failed")
+	}
+}
+
+// claimRunning moves a queued job to running; false means the job was
+// already terminal (canceled or timed out while queued).
+func (s *Server) claimRunning(j *job, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	s.broadcastLocked(j)
+	return true
+}
+
+// fail moves a job from the given state to failed with the reason;
+// a job already past that state is left alone (e.g. the execution
+// finished in the instant the deadline fired).
+func (s *Server) fail(j *job, from State, reason string) {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	if j.state != from {
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateFailed
+	j.errMsg = reason
+	j.finished = now
+	s.broadcastLocked(j)
+	s.mu.Unlock()
+	s.reg.Inc("server.jobs.failed")
+}
+
+// cancelQueued cancels every still-queued job (the shutdown-deadline
+// path).
+func (s *Server) cancelQueued(reason string) {
+	now := s.cfg.Clock.Now()
+	var n int64
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.errMsg = reason
+			j.finished = now
+			s.broadcastLocked(j)
+			n++
+		}
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		s.reg.Add("server.jobs.canceled", n)
+	}
+}
+
+// broadcastLocked records the transition and wakes every watcher.
+// Callers hold s.mu.
+func (s *Server) broadcastLocked(j *job) {
+	t := j.started
+	if j.state.Terminal() {
+		t = j.finished
+	}
+	j.history = append(j.history, stateEvent{State: j.state, Time: t, Error: j.errMsg})
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// infoLocked renders a job's status body. Callers hold s.mu.
+func (s *Server) infoLocked(j *job) JobInfo {
+	info := JobInfo{
+		ID:          j.id,
+		State:       j.state,
+		Fingerprint: j.fp,
+		Scheme:      j.req.Scheme,
+		Machine:     j.req.Machine,
+		N:           j.opts.N,
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+	}
+	if info.Machine == "" && j.req.Profile != nil {
+		info.Machine = j.req.Profile.Name
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.FinishedAt = &t
+	}
+	if j.state == StateDone || (j.state == StateFailed && j.metrics != nil) {
+		e := j.executed
+		info.Executed = &e
+	}
+	return info
+}
+
+// newJob registers a submission under the next ID and returns it, or
+// false when the daemon is draining.
+func (s *Server) newJob(req JobRequest, opts core.Options, fp string) (*job, bool) {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", s.seq),
+		fp:        fp,
+		req:       req,
+		opts:      opts,
+		state:     StateQueued,
+		submitted: now,
+		changed:   make(chan struct{}),
+		execDone:  make(chan struct{}),
+	}
+	j.history = append(j.history, stateEvent{State: StateQueued, Time: now})
+	s.jobs[j.id] = j
+	return j, true
+}
+
+// dropJob removes a job that never made it into the queue.
+func (s *Server) dropJob(j *job) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	s.mu.Unlock()
+}

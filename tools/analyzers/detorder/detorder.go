@@ -1,7 +1,8 @@
 // Package detorder enforces deterministic output order in the
 // packages that promise it: the simulator reporting layer
 // (internal/hetsim), the observability layer (internal/obs), the sweep
-// engine (internal/experiments), and the CLI (cmd/abftchol). The
+// engine (internal/experiments), the job daemon (internal/server),
+// and the CLI (cmd/abftchol). The
 // differential test battery asserts byte-identical text/CSV/JSON at
 // -parallel 1 and -parallel N, and the golden-output tests assert
 // byte-identical runs across processes; Go map iteration order is
@@ -45,11 +46,12 @@ const Doc = "forbid map iteration order from reaching emitted output (range over
 var Analyzer = &analysis.Analyzer{
 	Name:  "detorder",
 	Doc:   Doc,
-	Scope: "internal/obs, internal/experiments, internal/hetsim, cmd/abftchol",
+	Scope: "internal/obs, internal/experiments, internal/hetsim, internal/server, cmd/abftchol",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/obs",
 		"abftchol/internal/experiments",
 		"abftchol/internal/hetsim",
+		"abftchol/internal/server",
 		"abftchol/cmd/abftchol",
 	),
 	Run: run,

@@ -1,5 +1,6 @@
 // Package lockcheck enforces lock discipline in the parallel sweep
-// engine's shared state (internal/obs, internal/experiments). The
+// engine's shared state (internal/obs, internal/experiments) and the
+// job daemon's (internal/server). The
 // engine promises byte-identical serial/parallel output, which holds
 // only while every mutation of shared state happens under its mutex —
 // the same "verify before you trust shared memory" discipline the
@@ -48,12 +49,13 @@ const Doc = "require guarded struct fields (seeded by // guards: comments, infer
 var Analyzer = &analysis.Analyzer{
 	Name:  "lockcheck",
 	Doc:   Doc,
-	Scope: "internal/obs, internal/experiments, internal/checksum, internal/blas",
+	Scope: "internal/obs, internal/experiments, internal/checksum, internal/blas, internal/server",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/obs",
 		"abftchol/internal/experiments",
 		"abftchol/internal/checksum",
 		"abftchol/internal/blas",
+		"abftchol/internal/server",
 	),
 	Run: run,
 }

@@ -1,0 +1,271 @@
+// Command servesmoke is the scripted end-to-end check behind
+// `make serve-smoke`: it builds cmd/abftd, boots it on a random port,
+// drives a submit → poll → fetch session through the reference client,
+// proves the dedup and warm-cache paths execute zero kernels (by
+// reading kernel-launch counters out of the daemon's own metrics), and
+// SIGTERMs the daemon through a graceful drain — twice, restarting
+// against the same on-disk result store to exercise cache-served jobs
+// across processes. The full transcript lands in
+// artifacts/serve-smoke.txt (CI uploads it); any failed expectation
+// exits nonzero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"abftchol/internal/server"
+)
+
+// smoke carries the session state: the transcript writer and the
+// failure count.
+type smoke struct {
+	out    io.Writer
+	failed int
+}
+
+func (s *smoke) logf(format string, args ...interface{}) {
+	fmt.Fprintf(s.out, format+"\n", args...)
+}
+
+func (s *smoke) check(ok bool, what string, detail ...interface{}) {
+	mark := "ok  "
+	if !ok {
+		mark = "FAIL"
+		s.failed++
+	}
+	msg := what
+	if len(detail) > 0 {
+		msg = fmt.Sprintf(what, detail...)
+	}
+	s.logf("%s %s", mark, msg)
+}
+
+func main() {
+	if err := os.MkdirAll("artifacts", 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke:", err)
+		os.Exit(1)
+	}
+	transcript, err := os.Create("artifacts/serve-smoke.txt")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke:", err)
+		os.Exit(1)
+	}
+	defer transcript.Close()
+	s := &smoke{out: io.MultiWriter(os.Stdout, transcript)}
+
+	if err := s.run(); err != nil {
+		s.logf("FAIL %v", err)
+		s.failed++
+	}
+	if s.failed > 0 {
+		s.logf("serve-smoke: %d failure(s)", s.failed)
+		os.Exit(1)
+	}
+	s.logf("serve-smoke: PASS")
+}
+
+// jobReq is the one point the whole session revolves around; it must
+// stay identical across submissions so the fingerprint matches.
+var jobReq = server.JobRequest{
+	Machine: "laptop", N: 768, Scheme: "enhanced", K: 2, Inject: "storage@3",
+}
+
+func (s *smoke) run() error {
+	work, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "abftd")
+	cacheDir := filepath.Join(work, "cache")
+	metricsOut := filepath.Join("artifacts", "serve-smoke-metrics.json")
+
+	s.logf("$ go build -o %s ./cmd/abftd", bin)
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/abftd").CombinedOutput(); err != nil {
+		return fmt.Errorf("build abftd: %v\n%s", err, out)
+	}
+
+	// ---- first daemon: cold cache --------------------------------------
+	d, err := s.boot(bin, "-addr", "127.0.0.1:0", "-workers", "2",
+		"-cache", "-cache-dir", cacheDir, "-metrics-out", metricsOut)
+	if err != nil {
+		return err
+	}
+	c := &server.Client{Base: d.base, Name: "servesmoke"}
+
+	s.logf("-- submit %s n=%d %s inject=%s", jobReq.Machine, jobReq.N, jobReq.Scheme, jobReq.Inject)
+	info, err := c.Submit(jobReq)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	s.logf("   %s %s fingerprint=%s", info.ID, info.State, info.Fingerprint)
+	info, err = c.Wait(info.ID)
+	if err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	s.check(info.State == server.StateDone, "job %s reaches done (state %s)", info.ID, info.State)
+	s.check(info.Executed != nil && *info.Executed, "cold job executed the factorization")
+	res, err := c.Result(info.ID)
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	s.check(res.Result.Corrections == 1, "injected storage error corrected (corrections=%d)", res.Result.Corrections)
+	potf2, err := s.kernelCount(c, info.ID, "kernel.launches.potf2")
+	if err != nil {
+		return err
+	}
+	s.check(potf2 > 0, "cold job launched kernels (potf2=%d)", potf2)
+
+	s.logf("-- duplicate submit (same point)")
+	dup, err := c.Submit(jobReq)
+	if err != nil {
+		return fmt.Errorf("submit dup: %w", err)
+	}
+	dup, err = c.Wait(dup.ID)
+	if err != nil {
+		return fmt.Errorf("wait dup: %w", err)
+	}
+	s.check(dup.State == server.StateDone, "duplicate %s reaches done", dup.ID)
+	s.check(dup.Executed != nil && !*dup.Executed, "duplicate served without executing")
+	dupPotf2, err := s.kernelCount(c, dup.ID, "kernel.launches.potf2")
+	if err != nil {
+		return err
+	}
+	s.check(dupPotf2 == 0, "duplicate launched zero kernels (potf2=%d)", dupPotf2)
+
+	h, err := c.Health()
+	if err != nil {
+		return fmt.Errorf("health: %w", err)
+	}
+	s.check(h.Status == "ok" && h.Jobs[server.StateDone] == 2, "healthz: status=%s done=%d", h.Status, h.Jobs[server.StateDone])
+
+	if err := s.drain(d); err != nil {
+		return err
+	}
+	if _, err := os.Stat(metricsOut); err != nil {
+		s.check(false, "metrics flushed on shutdown: %v", err)
+	} else {
+		s.check(true, "metrics flushed to %s on shutdown", metricsOut)
+	}
+
+	// ---- second daemon: warm cache, fresh process ----------------------
+	s.logf("-- restart against the same result store")
+	d2, err := s.boot(bin, "-addr", "127.0.0.1:0", "-workers", "2",
+		"-cache", "-cache-dir", cacheDir)
+	if err != nil {
+		return err
+	}
+	c2 := &server.Client{Base: d2.base, Name: "servesmoke"}
+	warm, err := c2.Submit(jobReq)
+	if err != nil {
+		return fmt.Errorf("warm submit: %w", err)
+	}
+	warm, err = c2.Wait(warm.ID)
+	if err != nil {
+		return fmt.Errorf("warm wait: %w", err)
+	}
+	s.check(warm.State == server.StateDone, "warm job %s reaches done", warm.ID)
+	s.check(warm.Executed != nil && !*warm.Executed, "warm job served from the on-disk store")
+	warmPotf2, err := s.kernelCount(c2, warm.ID, "kernel.launches.potf2")
+	if err != nil {
+		return err
+	}
+	hits, err := s.kernelCount(c2, warm.ID, "sweep.cache.hits")
+	if err != nil {
+		return err
+	}
+	s.check(warmPotf2 == 0 && hits == 1, "warm job executed zero kernels (potf2=%d, cache hits=%d)", warmPotf2, hits)
+	warmRes, err := c2.Result(warm.ID)
+	if err != nil {
+		return fmt.Errorf("warm result: %w", err)
+	}
+	coldJSON, _ := json.Marshal(res.Result)
+	warmJSON, _ := json.Marshal(warmRes.Result)
+	s.check(string(coldJSON) == string(warmJSON), "warm result byte-identical to the cold run's")
+
+	return s.drain(d2)
+}
+
+// daemon is one running abftd process.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *strings.Builder
+}
+
+// boot starts abftd and parses the resolved address off its stdout.
+func (s *smoke) boot(bin string, args ...string) (*daemon, error) {
+	s.logf("$ %s %s", filepath.Base(bin), strings.Join(args, " "))
+	cmd := exec.Command(bin, args...)
+	stderr := &strings.Builder{}
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start abftd: %w", err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("abftd produced no listen line; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	s.logf("  %s", line)
+	const prefix = "abftd: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("unexpected boot line %q", line)
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stdout)
+	return &daemon{cmd: cmd, base: strings.TrimPrefix(line, prefix), stderr: stderr}, nil
+}
+
+// drain SIGTERMs the daemon and verifies a clean exit.
+func (s *smoke) drain(d *daemon) error {
+	s.logf("$ kill -TERM %d", d.cmd.Process.Pid)
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		s.check(err == nil, "daemon exited cleanly after SIGTERM (err=%v)", err)
+	case <-time.After(90 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("daemon did not drain within 90s; stderr:\n%s", d.stderr.String())
+	}
+	s.check(strings.Contains(d.stderr.String(), "abftd: drained"), "drain completed (stderr reports \"abftd: drained\")")
+	return nil
+}
+
+// kernelCount reads one counter out of a job's private metrics
+// snapshot.
+func (s *smoke) kernelCount(c *server.Client, id, name string) (int64, error) {
+	data, err := c.JobMetrics(id)
+	if err != nil {
+		return 0, fmt.Errorf("metrics %s: %w", id, err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("decode metrics %s: %w", id, err)
+	}
+	return snap.Counters[name], nil
+}

@@ -1,0 +1,61 @@
+// Command servicedoc rewrites the generated sections of
+// docs/SERVICE.md from the live daemon: the endpoint table
+// (server.Routes), the error-code table (server.ErrorCodes), and a
+// real HTTP session captured against an in-process daemon under a
+// frozen clock (server.DocSession). It is wired to
+// `go generate ./internal/server`; the server package's doc drift test
+// re-records the session and asserts the embedding, so a stale doc
+// fails `go test` rather than rotting silently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abftchol/internal/server"
+)
+
+func main() {
+	out := flag.String("out", "../../docs/SERVICE.md", "markdown file whose generated sections to rewrite (path is relative to internal/server, where go generate runs)")
+	flag.Parse()
+	if err := rewrite(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "servicedoc:", err)
+		os.Exit(1)
+	}
+}
+
+func rewrite(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	session, err := server.DocSession()
+	if err != nil {
+		return fmt.Errorf("record session: %w", err)
+	}
+	src := string(data)
+	for _, sec := range []struct {
+		begin, end, body string
+	}{
+		{server.EndpointsBegin, server.EndpointsEnd, server.EndpointsTable()},
+		{server.ErrorsBegin, server.ErrorsEnd, server.ErrorsTable()},
+		{server.SessionBegin, server.SessionEnd, session},
+	} {
+		src, err = replaceSection(src, sec.begin, sec.end, sec.body)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return os.WriteFile(path, []byte(src), 0o644)
+}
+
+func replaceSection(src, begin, end, body string) (string, error) {
+	b := strings.Index(src, begin)
+	e := strings.Index(src, end)
+	if b < 0 || e < 0 || e < b {
+		return "", fmt.Errorf("marker comments %q ... %q not found; the generated section needs a home", begin, end)
+	}
+	return src[:b] + begin + "\n" + body + src[e:], nil
+}

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-bench ci fmt bench trace-demo serve-smoke
+.PHONY: build test race lint lint-bench ci fmt bench trace-demo serve-smoke campaign-smoke
 
 build:
 	$(GO) build ./...
@@ -50,13 +50,16 @@ fmt:
 # kernel/verification counters next to the timings. sweepbench times
 # the full `-exp all` sweep serial-cold vs parallel-cold vs warm-cache
 # (verifying byte-identity along the way) and records the comparison
-# in BENCH_sweep.json at the repo root.
+# in BENCH_sweep.json at the repo root. relbench runs the default
+# fault-injection campaign grid serial vs parallel and records coverage
+# rates with Wilson intervals in BENCH_reliability.json.
 bench:
 	mkdir -p artifacts
 	$(GO) test -bench=. -benchmem ./... | tee artifacts/bench.txt
 	$(GO) run ./cmd/abftchol -exp all -quick -metrics-out artifacts/bench-metrics.json > /dev/null
 	$(GO) run ./tools/sweepbench -out BENCH_sweep.json -metrics-out artifacts/sweep-cache-metrics.json
 	$(GO) run ./tools/blasbench -out BENCH_blas.json
+	$(GO) run ./tools/relbench -out BENCH_reliability.json
 
 # End-to-end check of the job daemon (docs/SERVICE.md): build abftd,
 # boot it on a random port, drive a submit → poll → fetch session,
@@ -67,6 +70,16 @@ bench:
 serve-smoke:
 	mkdir -p artifacts
 	$(GO) run ./tools/servesmoke
+
+# Kill-and-resume check of the reliability campaign engine
+# (docs/RELIABILITY.md): build abftchol, run a reference campaign to
+# completion, SIGKILL an identical journaled campaign mid-shard, resume
+# from the torn journal, and prove the resumed report is byte-identical
+# to the uninterrupted one. The transcript lands in
+# artifacts/campaign-smoke.txt (CI uploads it).
+campaign-smoke:
+	mkdir -p artifacts
+	$(GO) run ./tools/campaignsmoke
 
 # The observability artifacts CI uploads: a Perfetto-loadable Chrome
 # trace of the fig8 sweep's last run plus the sweep's metrics

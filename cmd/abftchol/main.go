@@ -21,6 +21,13 @@
 //	abftchol -exp all -parallel 8          # bounded worker pool
 //	abftchol -exp all -cache               # memoize under artifacts/cache/
 //
+// Run a fault-injection reliability campaign (coverage rates with
+// Wilson confidence intervals; see docs/RELIABILITY.md):
+//
+//	abftchol -campaign                     # default grid, journaled under artifacts/campaign/
+//	abftchol -campaign -schemes online,enhanced -trials 1000 -out report.json
+//	abftchol -campaign -server :8787       # execute on a running abftd daemon
+//
 // Export observability artifacts (see docs/OBSERVABILITY.md):
 //
 //	abftchol -exp fig8 -quick -trace-out fig8.json -metrics-out fig8-metrics.json
@@ -71,6 +78,15 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the run's timeline here (.json Chrome/Perfetto, .jsonl compact); with -exp, the last run's")
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot accumulated over the run(s) here")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the tool itself here")
+
+		campaignMode = flag.Bool("campaign", false, "run a fault-injection reliability campaign over a (machine x scheme x class) grid (docs/RELIABILITY.md)")
+		campMachines = flag.String("machines", "", "comma-separated machine profiles for -campaign (default laptop)")
+		campSchemes  = flag.String("schemes", "", "comma-separated schemes for -campaign (default magma,online,enhanced)")
+		campClasses  = flag.String("classes", "", "comma-separated fault classes for -campaign (default the paper's storage/compute/burst set)")
+		campTrials   = flag.Int("trials", 0, "fault-injection trials per grid cell for -campaign (default 200)")
+		campShard    = flag.Int("shard-trials", 0, "trials per journaled shard for -campaign (default 50)")
+		campDir      = flag.String("campaign-dir", "artifacts/campaign", "journal directory for -campaign checkpoint/resume; empty disables journaling (local runs only)")
+		campOut      = flag.String("out", "", "write the -campaign report to this file instead of stdout")
 
 		parallel = flag.Int("parallel", 0, "sweep worker pool size; 0 = GOMAXPROCS, 1 = serial (output is byte-identical either way)")
 		useCache = flag.Bool("cache", false, "memoize model-plane results in an on-disk cache (see -cache-dir)")
@@ -124,6 +140,18 @@ func main() {
 			fmt.Println(id)
 		}
 		fmt.Println("verify")
+	case *campaignMode:
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if err := runCampaign(campaignArgs{
+			machines: *campMachines, schemes: *campSchemes, classes: *campClasses,
+			dir: *campDir, out: *campOut,
+			trials: *campTrials, shardTrials: *campShard,
+			n: *n, k: *k, vectors: *vectors, rate: *rate, delta: *delta, seed: *seed,
+			set: set, server: *srvAddr, workers: *parallel,
+		}); err != nil {
+			fatal(err)
+		}
 	case *expID != "":
 		sched := newSched(*srvAddr, *parallel, cache)
 		if err := runExperiments(*expID, *csv, *quick, *plot, *jsonOut, oc, sched); err != nil {

@@ -215,7 +215,7 @@ func (e *exec) finalCheck() error {
 		}
 	}
 	if sch.FaultTolerant() && e.led.AnyCorrupt() {
-		return fmt.Errorf("core: final result rejected: %d block(s) still corrupted", e.led.CorruptBlocks())
+		return fmt.Errorf("core: %w: %d block(s) still corrupted", ErrResultRejected, e.led.CorruptBlocks())
 	}
 	return nil
 }

@@ -230,6 +230,10 @@ func (e *errUncorrectable) Error() string {
 	return fmt.Sprintf("core: block (%d,%d) corrupted beyond checksum correction: %v", e.BI, e.BJ, e.Cause)
 }
 
+// Unwrap exposes the verification cause so outcome predicates
+// (FailStop in particular) see through the uncorrectable verdict.
+func (e *errUncorrectable) Unwrap() error { return e.Cause }
+
 // verifyBlocks runs one pre-/post-operation verification batch over
 // the given blocks: a checksum-recalculation kernel per block (fanned
 // over the Optimization 1 streams when enabled), a compare, and any

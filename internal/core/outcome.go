@@ -1,0 +1,82 @@
+// Outcome inspection: exported predicates over the errors Run can
+// return, so reliability campaigns can classify a trial without
+// string-matching messages. Run wraps the terminal cause with %w at
+// every layer, so these survive the attempt/scheme prefixes.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrResultRejected is the final-check failure: a fault-tolerant
+// scheme finished the factorization but the model-plane ledger still
+// records corrupted blocks, i.e. detection happened too late for
+// correction. Campaigns count a run that ends here as silent
+// corruption *of the factorization output* caught only by the offline
+// audit.
+var ErrResultRejected = errors.New("final result rejected")
+
+// Rejected reports whether err is (or wraps) the final-check
+// rejection.
+func Rejected(err error) bool {
+	return errors.Is(err, ErrResultRejected)
+}
+
+// Uncorrectable reports whether err is (or wraps) a verification
+// failure where corruption was detected but exceeded the checksum
+// code's correction capability (more than ⌊m/2⌋ errors in one block
+// column, or an inconsistent syndrome).
+func Uncorrectable(err error) bool {
+	var u *errUncorrectable
+	return errors.As(err, &u)
+}
+
+// FailStop reports whether err is (or wraps) a POTF2 fail-stop: the
+// diagonal block lost positive definiteness, which the paper treats as
+// an immediately detected, non-correctable abort.
+func FailStop(err error) bool {
+	return errors.Is(err, errFailStop)
+}
+
+// ParseScheme resolves the external spelling of a fault-tolerance
+// scheme — the same words the CLI -scheme flag and the abftd job API
+// accept.
+func ParseScheme(s string) (Scheme, error) {
+	switch strings.ToLower(s) {
+	case "magma", "none":
+		return SchemeNone, nil
+	case "cula":
+		return SchemeCULA, nil
+	case "offline":
+		return SchemeOffline, nil
+	case "online":
+		return SchemeOnline, nil
+	case "enhanced":
+		return SchemeEnhanced, nil
+	case "scrub", "online+scrub":
+		return SchemeOnlineScrub, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+// schemeKeys is the canonical external spelling of each scheme.
+var schemeKeys = map[Scheme]string{
+	SchemeNone:        "magma",
+	SchemeCULA:        "cula",
+	SchemeOffline:     "offline",
+	SchemeOnline:      "online",
+	SchemeEnhanced:    "enhanced",
+	SchemeOnlineScrub: "scrub",
+}
+
+// SchemeKey returns the external spelling of a scheme, the inverse of
+// ParseScheme.
+func SchemeKey(s Scheme) string {
+	if k, ok := schemeKeys[s]; ok {
+		return k
+	}
+	return s.String()
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOutcomePredicates(t *testing.T) {
+	rej := fmt.Errorf("core: %w: 3 block(s) still corrupted", ErrResultRejected)
+	wrapped := fmt.Errorf("core: online failed after 1 attempts: %w", rej)
+	if !Rejected(rej) || !Rejected(wrapped) {
+		t.Fatal("Rejected must see through Run's attempt wrapper")
+	}
+	if Uncorrectable(wrapped) || FailStop(wrapped) {
+		t.Fatal("rejection misclassified")
+	}
+
+	unc := error(&errUncorrectable{BI: 3, BJ: 2, Cause: errFailStop})
+	wrapped = fmt.Errorf("core: enhanced failed after 2 attempts: %w", unc)
+	if !Uncorrectable(unc) || !Uncorrectable(wrapped) {
+		t.Fatal("Uncorrectable must match through wrapping")
+	}
+	// A fail-stop cause inside an uncorrectable verdict is still a
+	// fail-stop for classification purposes; both predicates hold.
+	if !FailStop(wrapped) {
+		t.Fatal("FailStop must see the wrapped POTF2 cause")
+	}
+
+	fs := fmt.Errorf("%w: block 4: not PD", errFailStop)
+	if !FailStop(fs) || Uncorrectable(fs) || Rejected(fs) {
+		t.Fatal("fail-stop misclassified")
+	}
+	if Rejected(nil) || Uncorrectable(nil) || FailStop(nil) {
+		t.Fatal("nil error must match nothing")
+	}
+}
+
+func TestParseSchemeRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{SchemeNone, SchemeCULA, SchemeOffline, SchemeOnline, SchemeEnhanced, SchemeOnlineScrub} {
+		key := SchemeKey(s)
+		got, err := ParseScheme(key)
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", key, err)
+		}
+		if got != s {
+			t.Fatalf("ParseScheme(SchemeKey(%v)) = %v", s, got)
+		}
+	}
+	if s, err := ParseScheme("NONE"); err != nil || s != SchemeNone {
+		t.Fatalf("case-insensitive alias: %v, %v", s, err)
+	}
+	if _, err := ParseScheme("hybrid"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"abftchol/internal/core"
 	"abftchol/internal/fault"
 	"abftchol/internal/hetsim"
+	"abftchol/internal/reliability"
 )
 
 // Extension experiments beyond the paper's evaluation: the multi-error
@@ -168,7 +169,102 @@ func ScrubFigure(prof hetsim.Profile, cfg Config) *Figure {
 	return f
 }
 
+// ReliabilityTable (ext-reliability) is a pocket edition of the
+// internal/reliability/campaign engine: a (scheme × fault class) grid
+// of seeded Poisson fault trials, each classified into the four-way
+// outcome taxonomy and reported with Wilson 95% bounds on the
+// struck-conditioned detection rate. The full sharded, journaled
+// campaign lives behind `abftchol -campaign`; this experiment gives
+// `-exp` users the same coverage shape at a glance.
+//
+// Trials run in-line rather than as scheduler points: a trial's
+// verdict travels in its typed error (MaxAttempts=1 surfaces the
+// rejection instead of retrying past it), and typed errors do not
+// round-trip the sweep's disk cache — a warm-cache replay would
+// reclassify every detected fault as clean. The campaign engine makes
+// the same call: it runs cache-less and persists to its journal.
+func ReliabilityTable(prof hetsim.Profile, cfg Config) *Table {
+	// Campaign cost grows with the cube of the block count, so size the
+	// matrix from the profile's block size rather than taking
+	// CapabilityN at face value: on the laptop profile (nb=32) the
+	// sweep default of 10240 would mean a 320-block grid, ~4000x the
+	// work of the same n on tardis (nb=512). CapabilityN only ever
+	// shrinks the grid below the 24-block cap.
+	nb := prof.BlockSize
+	n := 24 * nb
+	if cfg.CapabilityN > 0 && cfg.CapabilityN < n {
+		n = cfg.CapabilityN
+	}
+	const (
+		trials = 60
+		rate   = 0.2
+	)
+	t := &Table{
+		ID: "ext-reliability",
+		Title: fmt.Sprintf("fault-injection coverage on %s (n=%d, %.2f faults/iter, %d trials/cell)",
+			prof.Name, n, rate, trials),
+		Header: []string{"scheme", "fault class", "struck", "corrected", "uncorrect.", "silent", "detected [95% CI]"},
+	}
+	schemes := []core.Scheme{core.SchemeNone, core.SchemeOnline, core.SchemeEnhanced}
+	classes := []string{"storage-offset", "compute-offset", "storage-offset-burst"}
+	cellIdx := 0
+	for _, scheme := range schemes {
+		for _, className := range classes {
+			class, err := fault.ParseClass(className)
+			if err != nil {
+				panic(err)
+			}
+			var corrected, uncorrectable, silent, struck int
+			for trial := 0; trial < trials; trial++ {
+				o := core.Options{
+					Profile:          prof,
+					N:                n,
+					BlockSize:        nb,
+					K:                2,
+					Scheme:           scheme,
+					MaxAttempts:      1,
+					ConcurrentRecalc: true,
+					Scenarios: fault.Campaign(fault.CampaignConfig{
+						Blocks:           n / nb,
+						BlockSize:        nb,
+						RatePerIteration: rate,
+						Seed:             fault.SubSeed(fault.SubSeed(2016, cellIdx), trial),
+						Class:            class,
+					}),
+				}
+				r, runErr := core.Run(o)
+				out, cerr := reliability.Classify(r, runErr)
+				if cerr != nil {
+					panic(fmt.Sprintf("experiments: ext-reliability: %v", cerr))
+				}
+				switch out {
+				case reliability.OutcomeDetectedCorrected:
+					corrected++
+				case reliability.OutcomeDetectedUncorrectable:
+					uncorrectable++
+				case reliability.OutcomeSilentCorruption:
+					silent++
+				}
+				if out.Struck() {
+					struck++
+				}
+			}
+			detected := reliability.Wilson(corrected+uncorrectable, struck, reliability.Z95)
+			t.Rows = append(t.Rows, []string{
+				core.SchemeKey(scheme), className,
+				fmt.Sprintf("%d/%d", struck, trials),
+				fmt.Sprintf("%d", corrected),
+				fmt.Sprintf("%d", uncorrectable),
+				fmt.Sprintf("%d", silent),
+				fmt.Sprintf("%.3f [%.3f, %.3f]", detected.Rate, detected.Lo, detected.Hi),
+			})
+			cellIdx++
+		}
+	}
+	return t
+}
+
 // ExtensionIDs lists the non-paper experiments.
 func ExtensionIDs() []string {
-	return []string{"ext-multivec", "ext-coverage", "ext-variant", "ext-scrub"}
+	return []string{"ext-multivec", "ext-coverage", "ext-variant", "ext-scrub", "ext-reliability"}
 }

@@ -243,7 +243,7 @@ func Registry() map[string]struct {
 	Profile hetsim.Profile
 	Run     Runner
 } {
-	tar, bul := hetsim.Tardis(), hetsim.Bulldozer64()
+	tar, bul, lap := hetsim.Tardis(), hetsim.Bulldozer64(), hetsim.Laptop()
 	wrapT := func(fn func(hetsim.Profile, Config) *Table) Runner {
 		return func(p hetsim.Profile, c Config) fmt.Stringer { return fn(p, c) }
 	}
@@ -267,10 +267,11 @@ func Registry() map[string]struct {
 		"fig16":  {tar, wrapF(PerformanceFigure)},
 		"fig17":  {bul, wrapF(PerformanceFigure)},
 		// Extensions beyond the paper's evaluation.
-		"ext-multivec": {tar, wrapF(MultiVectorFigure)},
-		"ext-coverage": {tar, wrapF(CoverageStudy)},
-		"ext-variant":  {tar, wrapF(VariantFigure)},
-		"ext-scrub":    {tar, wrapF(ScrubFigure)},
+		"ext-multivec":    {tar, wrapF(MultiVectorFigure)},
+		"ext-coverage":    {tar, wrapF(CoverageStudy)},
+		"ext-variant":     {tar, wrapF(VariantFigure)},
+		"ext-scrub":       {tar, wrapF(ScrubFigure)},
+		"ext-reliability": {lap, wrapT(ReliabilityTable)},
 	}
 }
 

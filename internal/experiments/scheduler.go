@@ -101,6 +101,12 @@ func NewRemoteScheduler(workers int, runFn func(core.Options) (core.Result, erro
 // Workers returns the concurrency bound.
 func (s *Scheduler) Workers() int { return s.workers }
 
+// Remote reports whether points execute on a remote daemon rather
+// than in-process. Remote execution flattens typed errors to strings,
+// so work that classifies errors (reliability campaigns) must refuse
+// remote schedulers and run server-side instead.
+func (s *Scheduler) Remote() bool { return s.remote }
+
 // StoreErr returns the first cache-write failure, if any. Stores are
 // best-effort for correctness (the sweep's results are unaffected) but
 // a broken cache directory should be surfaced, not silently ignored.

@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// clampCampaign maps arbitrary fuzz inputs into a valid campaign
+// config, so the properties below quantify over the whole (Blocks,
+// BlockSize, Rate, Seed, Class, BurstSize) space without rejecting
+// draws.
+func clampCampaign(blocks, blockSize uint8, rateMil uint16, seed int64, classIdx, burstSize uint8) CampaignConfig {
+	all := Classes()
+	return CampaignConfig{
+		Blocks:           2 + int(blocks)%48,
+		BlockSize:        1 + int(blockSize)%128,
+		RatePerIteration: float64(rateMil%3000) / 1000, // 0 .. 3 arrivals/iteration
+		Seed:             seed,
+		Class:            all[int(classIdx)%len(all)],
+		BurstSize:        int(burstSize) % 6, // 0 exercises the default
+	}
+}
+
+// checkCampaignInvariants asserts, for one config, the two satellite
+// properties: split/merge invariance (one whole-campaign pass equals
+// concatenating per-iteration CampaignAt passes, each re-deriving its
+// sub-seeded stream) and per-scenario well-formedness — every storage
+// strike hits a live factored block (k < j <= i < Blocks), every
+// compute strike hits a GEMM output of its iteration (j < i < Blocks),
+// elements stay inside the block, and the class's Delta/Bit semantics
+// hold.
+func checkCampaignInvariants(t *testing.T, cfg CampaignConfig) {
+	t.Helper()
+	whole := Campaign(cfg)
+	var merged []Scenario
+	for j := -1; j <= cfg.Blocks+1; j++ { // out-of-range iterations must contribute nothing
+		merged = append(merged, CampaignAt(cfg, j)...)
+	}
+	if !reflect.DeepEqual(whole, merged) {
+		t.Fatalf("split/merge mismatch for %+v: one pass %d scenarios, merged %d", cfg, len(whole), len(merged))
+	}
+
+	norm := cfg.Normalized()
+	for _, s := range whole {
+		j := s.Iter
+		if j < 1 || j >= cfg.Blocks {
+			t.Fatalf("iteration %d out of range for %+v", j, cfg)
+		}
+		switch norm.Class.Strike {
+		case StrikeCompute:
+			if s.Kind != Computation || s.Op != OpGEMM {
+				t.Fatalf("compute class generated %v/%v", s.Kind, s.Op)
+			}
+			if s.BJ != j || s.BI <= j || s.BI >= cfg.Blocks {
+				t.Fatalf("compute target (%d,%d) invalid at iteration %d", s.BI, s.BJ, j)
+			}
+		default:
+			if s.Kind != Storage {
+				t.Fatalf("storage class generated %v", s.Kind)
+			}
+			// Live factored data: column before the iteration, row at
+			// or below it (k < j <= i).
+			if s.BJ >= j || s.BI < j || s.BI >= cfg.Blocks {
+				t.Fatalf("storage target (%d,%d) invalid at iteration %d", s.BI, s.BJ, j)
+			}
+		}
+		if s.Row < 0 || s.Row >= cfg.BlockSize || s.Col < 0 || s.Col >= cfg.BlockSize {
+			t.Fatalf("element (%d,%d) outside a %d-block", s.Row, s.Col, cfg.BlockSize)
+		}
+		switch norm.Class.Flavor {
+		case FlavorMantissa:
+			if s.Delta != 0 || s.Bit < mantissaBitLo || s.Bit >= mantissaBitHi {
+				t.Fatalf("mantissa scenario delta=%g bit=%d", s.Delta, s.Bit)
+			}
+		case FlavorExponent:
+			if s.Delta != 0 || s.Bit < exponentBitLo || s.Bit >= exponentBitHi {
+				t.Fatalf("exponent scenario delta=%g bit=%d", s.Delta, s.Bit)
+			}
+		default:
+			if s.Delta != norm.Delta || s.Bit != 0 {
+				t.Fatalf("offset scenario delta=%g bit=%d (want delta=%g)", s.Delta, s.Bit, norm.Delta)
+			}
+		}
+	}
+
+	// Burst arrivals: scenarios come in groups of BurstSize sharing
+	// iteration, block, and column, with distinct rows.
+	if norm.Class.Burst {
+		if len(whole)%norm.BurstSize != 0 {
+			t.Fatalf("burst campaign length %d not a multiple of burst size %d", len(whole), norm.BurstSize)
+		}
+		for g := 0; g < len(whole); g += norm.BurstSize {
+			first := whole[g]
+			rows := map[int]bool{}
+			for _, s := range whole[g : g+norm.BurstSize] {
+				if s.Iter != first.Iter || s.BI != first.BI || s.BJ != first.BJ || s.Col != first.Col {
+					t.Fatalf("burst group at %d not confined to one block column", g)
+				}
+				if rows[s.Row] {
+					t.Fatalf("burst group at %d repeats row %d", g, s.Row)
+				}
+				rows[s.Row] = true
+			}
+		}
+	}
+}
+
+// TestCampaignSplitMergeProperty drives the invariants over the
+// config space with testing/quick (deterministic default source).
+func TestCampaignSplitMergeProperty(t *testing.T) {
+	prop := func(blocks, blockSize uint8, rateMil uint16, seed int64, classIdx, burstSize uint8) bool {
+		checkCampaignInvariants(t, clampCampaign(blocks, blockSize, rateMil, seed, classIdx, burstSize))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzCampaignInvariants is the same property under the fuzzer, so
+// `go test` replays the seed corpus and `go test -fuzz=FuzzCampaign`
+// explores further.
+func FuzzCampaignInvariants(f *testing.F) {
+	f.Add(uint8(16), uint8(32), uint16(500), int64(7), uint8(0), uint8(0))
+	f.Add(uint8(4), uint8(1), uint16(2999), int64(-1), uint8(7), uint8(5))
+	f.Add(uint8(40), uint8(128), uint16(50), int64(1<<62), uint8(11), uint8(2))
+	f.Fuzz(func(t *testing.T, blocks, blockSize uint8, rateMil uint16, seed int64, classIdx, burstSize uint8) {
+		checkCampaignInvariants(t, clampCampaign(blocks, blockSize, rateMil, seed, classIdx, burstSize))
+	})
+}
+
+// TestCampaignConfigRoundTrip pins the journal contract behind the
+// explicit-default fix: a config — in particular the zero value, which
+// once silently meant Delta=100 — serializes through JSON (the
+// campaign journal's header encoding) and back without mutation.
+// Defaults are applied only by Normalized, which is idempotent.
+func TestCampaignConfigRoundTrip(t *testing.T) {
+	configs := []CampaignConfig{
+		{}, // the zero value must survive untouched
+		{Blocks: 16, BlockSize: 32, RatePerIteration: 0.5, Seed: 42},
+		{Blocks: 8, BlockSize: 64, RatePerIteration: 1.5, Seed: -3,
+			Class: Class{Strike: StrikeCompute, Flavor: FlavorExponent, Burst: true},
+			Delta: 7, BurstSize: 3},
+	}
+	for _, cfg := range configs {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back CampaignConfig
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !reflect.DeepEqual(cfg, back) {
+			t.Fatalf("config mutated through JSON: %+v -> %s -> %+v", cfg, data, back)
+		}
+		once := cfg.Normalized()
+		if twice := once.Normalized(); !reflect.DeepEqual(once, twice) {
+			t.Fatalf("Normalized not idempotent: %+v vs %+v", once, twice)
+		}
+	}
+}
+
+// TestCampaignDeltaSemanticsPerClass pins the per-class Delta rules
+// the fix introduced: offset classes default to DefaultDelta, explicit
+// deltas are honored, and flip classes zero the delta and carry a bit
+// instead.
+func TestCampaignDeltaSemanticsPerClass(t *testing.T) {
+	base := CampaignConfig{Blocks: 12, BlockSize: 16, RatePerIteration: 1, Seed: 3}
+
+	if got := base.Normalized().Delta; got != DefaultDelta {
+		t.Fatalf("offset default delta = %g, want DefaultDelta (%g)", got, DefaultDelta)
+	}
+	withDelta := base
+	withDelta.Delta = 5
+	if got := withDelta.Normalized().Delta; got != 5 {
+		t.Fatalf("explicit delta overridden: %g", got)
+	}
+	exp := base
+	exp.Class.Flavor = FlavorExponent
+	exp.Delta = 5 // must be ignored: exponent faults flip a bit
+	if got := exp.Normalized().Delta; got != 0 {
+		t.Fatalf("exponent class kept delta %g", got)
+	}
+	for _, s := range Campaign(exp) {
+		if s.Delta != 0 || s.Bit < exponentBitLo || s.Bit >= exponentBitHi {
+			t.Fatalf("exponent scenario delta=%g bit=%d", s.Delta, s.Bit)
+		}
+	}
+
+	burst := base
+	burst.Class.Burst = true
+	if got := burst.Normalized().BurstSize; got != DefaultBurstSize {
+		t.Fatalf("burst default size = %d", got)
+	}
+	tiny := burst
+	tiny.BlockSize = 1 // burst cannot exceed the distinct rows available
+	if got := tiny.Normalized().BurstSize; got != 1 {
+		t.Fatalf("burst size not clamped to block size: %d", got)
+	}
+	if got := base.Normalized().BurstSize; got != 0 {
+		t.Fatalf("non-burst class kept burst size %d", got)
+	}
+}
+
+// TestParseClassRoundTrip pins the Key spelling as the parse/print
+// identity for every class.
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseClass(c.Key())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Fatalf("ParseClass(%q) = %+v", c.Key(), got)
+		}
+		if c.Describe() == "" {
+			t.Fatalf("class %q has no description", c.Key())
+		}
+	}
+	for _, bad := range []string{"", "storage", "storage-offset-burst-x", "disk-offset", "storage-sign"} {
+		if _, err := ParseClass(bad); err == nil {
+			t.Fatalf("ParseClass(%q) accepted", bad)
+		}
+	}
+	if c, err := ParseClass("memory-offset"); err != nil || c.Strike != StrikeStorage {
+		t.Fatalf("memory alias: %+v, %v", c, err)
+	}
+}
+
+// TestSubSeedSpread sanity-checks the derivation: distinct iterations
+// and seeds give distinct streams.
+func TestSubSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for iter := 0; iter < 1000; iter++ {
+		s := SubSeed(99, iter)
+		if seen[s] {
+			t.Fatalf("SubSeed collision at iteration %d", iter)
+		}
+		seen[s] = true
+	}
+	if SubSeed(1, 5) == SubSeed(2, 5) {
+		t.Fatal("different master seeds collided")
+	}
+}

@@ -33,7 +33,7 @@ func TestCampaignDeterministicAndWellFormed(t *testing.T) {
 		if s.Row < 0 || s.Row >= cfg.BlockSize || s.Col < 0 || s.Col >= cfg.BlockSize {
 			t.Fatalf("element (%d,%d) outside the block", s.Row, s.Col)
 		}
-		if s.Delta != 100 { // the default magnitude
+		if s.Delta != DefaultDelta { // the documented default magnitude
 			t.Fatalf("delta = %g", s.Delta)
 		}
 	}

@@ -132,6 +132,18 @@ func buildCatalog() []MetricDef {
 	add("server.jobs.canceled", Counter, "", "jobs canceled while queued, by clients or by shutdown")
 	add("server.jobs.rejected.rate", Counter, "", "submissions refused 429 by the per-client token bucket")
 	add("server.jobs.rejected.queue", Counter, "", "submissions refused 429 because the bounded job queue was full")
+	add("server.campaigns.submitted", Counter, "", "reliability campaigns the daemon accepted (202 responses)")
+	add("server.campaigns.deduped", Counter, "", "campaign submissions attached to an identical in-flight or finished campaign by fingerprint")
+	add("campaign.cells.planned", Counter, "", "reliability-campaign grid cells (machine × scheme × fault class) planned")
+	add("campaign.shards.planned", Counter, "", "reliability-campaign shards planned across all cells")
+	add("campaign.shards.executed", Counter, "", "reliability-campaign shards executed in this process (not served by the journal)")
+	add("campaign.shards.resumed", Counter, "", "reliability-campaign shards restored from a checkpoint journal instead of re-executing")
+	add("campaign.trials.planned", Counter, "", "fault-injection trials planned across the whole campaign grid")
+	add("campaign.trials.executed", Counter, "", "fault-injection trials executed in this process")
+	add("campaign.outcome.clean", Counter, "", "trials in which no fault fired and the run finished normally")
+	add("campaign.outcome.detected_corrected", Counter, "", "trials whose injected faults were all detected and repaired in place")
+	add("campaign.outcome.detected_uncorrectable", Counter, "", "trials whose corruption was detected but exceeded checksum correction (or fail-stopped)")
+	add("campaign.outcome.silent_corruption", Counter, "", "trials whose faults escaped the scheme's online protocol")
 	return c
 }
 

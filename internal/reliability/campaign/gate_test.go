@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"testing"
+
+	"abftchol/internal/experiments"
+)
+
+// TestCampaignStatisticalGate is the quick-mode coverage gate: a
+// pinned-seed campaign of ~10^4 trials whose struck-conditioned rates
+// must be statistically consistent with the paper's protection model.
+// The assertions are on Wilson 95% bounds, not point estimates, so a
+// failure means the *model* moved, not that sampling noise did; the
+// pinned seed makes any failure reproduce exactly.
+//
+// The expected behavior per (scheme × class), from the paper (§V) and
+// the engine's verification discipline:
+//
+//   - magma (unprotected): every struck trial ships silent corruption.
+//   - online + storage fault: the fault lands in an already-factored
+//     block that online (verify-after-write) never re-checks — caught
+//     only by the end-of-run audit. This silent-corruption gap is the
+//     Enhanced scheme's motivation.
+//   - online + compute fault: the corrupted GEMM output is verified
+//     after the write at the next K-interval and corrected.
+//   - enhanced (verify-before-read) + single fault per interval:
+//     detected and corrected regardless of strike kind or flavor.
+//   - enhanced + burst (two faults in one block column): exceeds the
+//     m=2 checksum code's single-error correction — detected but
+//     uncorrectable, the §V-C K trade-off made visible.
+func TestCampaignStatisticalGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^4-trial campaign skipped in -short")
+	}
+	cfg := Config{
+		Schemes:       []string{"magma", "online", "enhanced"},
+		Classes:       []string{"storage-offset", "storage-mantissa", "storage-exponent", "compute-offset", "storage-offset-burst"},
+		TrialsPerCell: 700, // 15 cells × 700 = 10500 trials
+		ShardTrials:   175,
+		Seed:          20160523, // the paper's venue date, pinned
+	}
+	report, err := Run(cfg, experiments.NewScheduler(0, nil), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalTrials != 10500 {
+		t.Fatalf("ran %d trials", report.TotalTrials)
+	}
+
+	cells := map[string]CellReport{}
+	for _, c := range report.Cells {
+		cells[c.Cell] = c
+		// Sanity on every cell: enough strikes to bound rates, and
+		// tallies that add up.
+		if c.Struck < 200 {
+			t.Errorf("%s: only %d struck trials — rate %g too low for the gate", c.Cell, c.Struck, cfg.RatePerIteration)
+		}
+		if c.Counts.Total() != c.Trials || c.Counts.StruckCount() != c.Struck {
+			t.Errorf("%s: inconsistent tallies %+v", c.Cell, c.Counts)
+		}
+	}
+	cell := func(scheme, class string) CellReport {
+		c, ok := cells["laptop/"+scheme+"/"+class]
+		if !ok {
+			t.Fatalf("missing cell %s/%s", scheme, class)
+		}
+		return c
+	}
+
+	// Unprotected baseline: zero detection, everything silent.
+	for _, class := range cfg.Classes {
+		c := cell("magma", class)
+		if c.Detected.Hi > 0.02 {
+			t.Errorf("magma/%s: detection upper bound %.4f > 0.02 — the unprotected scheme detected something", class, c.Detected.Hi)
+		}
+		if c.Silent.Lo < 0.98 {
+			t.Errorf("magma/%s: silent lower bound %.4f < 0.98", class, c.Silent.Lo)
+		}
+	}
+
+	// Enhanced: single faults per interval are corrected, every
+	// flavor and strike kind. The paper's correction claim.
+	for _, class := range []string{"storage-offset", "storage-mantissa", "storage-exponent", "compute-offset"} {
+		c := cell("enhanced", class)
+		if c.Corrected.Lo < 0.97 {
+			t.Errorf("enhanced/%s: corrected lower bound %.4f < 0.97 (counts %+v)", class, c.Corrected.Lo, c.Counts)
+		}
+		if c.Silent.Hi > 0.02 {
+			t.Errorf("enhanced/%s: silent upper bound %.4f > 0.02", class, c.Silent.Hi)
+		}
+	}
+	// Enhanced under bursts: detected but beyond the m=2 code —
+	// detection must stay total even when correction is impossible.
+	burst := cell("enhanced", "storage-offset-burst")
+	if burst.Uncorrectable.Lo < 0.95 {
+		t.Errorf("enhanced/burst: uncorrectable lower bound %.4f < 0.95 (counts %+v)", burst.Uncorrectable.Lo, burst.Counts)
+	}
+	if burst.Detected.Lo < 0.97 {
+		t.Errorf("enhanced/burst: detection lower bound %.4f < 0.97", burst.Detected.Lo)
+	}
+
+	// Online's asymmetry — the result that motivates Enhanced:
+	// compute faults (verified after the write) are corrected, while
+	// storage faults in already-factored blocks escape until the
+	// final audit.
+	compute := cell("online", "compute-offset")
+	if compute.Corrected.Lo < 0.95 {
+		t.Errorf("online/compute: corrected lower bound %.4f < 0.95 (counts %+v)", compute.Corrected.Lo, compute.Counts)
+	}
+	for _, class := range []string{"storage-offset", "storage-mantissa", "storage-exponent"} {
+		c := cell("online", class)
+		if c.Silent.Lo < 0.90 {
+			t.Errorf("online/%s: silent lower bound %.4f < 0.90 — online should miss factored-block storage faults (counts %+v)", class, c.Silent.Lo, c.Counts)
+		}
+	}
+}

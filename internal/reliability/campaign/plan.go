@@ -1,0 +1,132 @@
+package campaign
+
+import (
+	"fmt"
+
+	"abftchol/internal/core"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+)
+
+// Cell is one grid point of the campaign: a machine profile, a
+// scheme, and a fault class, expanded into TrialsPerCell trials.
+type Cell struct {
+	Index   int
+	Machine string
+	Scheme  core.Scheme
+	Class   fault.Class
+
+	profile hetsim.Profile
+	nb      int
+}
+
+// Key is the journal/report spelling of the cell.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/%s", c.Machine, core.SchemeKey(c.Scheme), c.Class.Key())
+}
+
+// Shard is a contiguous trial range of one cell — the unit of
+// execution, journaling, and resume.
+type Shard struct {
+	Cell  int // cell index
+	Index int // shard index within the cell
+	Lo    int // first trial (inclusive)
+	Hi    int // last trial (exclusive)
+}
+
+// Plan is the fully-expanded campaign: cells in machine-major ×
+// scheme × class order, shards in cell-major × trial order. The plan
+// is a pure function of the normalized config.
+type Plan struct {
+	Config Config // normalized
+	Cells  []Cell
+	Shards []Shard
+}
+
+// NewPlan expands a config into its deterministic grid.
+func NewPlan(cfg Config) (*Plan, error) {
+	norm, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Config: norm}
+	for _, m := range norm.Machines {
+		prof, err := hetsim.ProfileByName(m)
+		if err != nil {
+			return nil, err
+		}
+		nb := norm.BlockSize
+		if nb == 0 {
+			nb = prof.BlockSize
+		}
+		for _, ss := range norm.Schemes {
+			scheme, err := core.ParseScheme(ss)
+			if err != nil {
+				return nil, err
+			}
+			for _, cs := range norm.Classes {
+				class, err := fault.ParseClass(cs)
+				if err != nil {
+					return nil, err
+				}
+				p.Cells = append(p.Cells, Cell{
+					Index:   len(p.Cells),
+					Machine: m,
+					Scheme:  scheme,
+					Class:   class,
+					profile: prof,
+					nb:      nb,
+				})
+			}
+		}
+	}
+	for _, cell := range p.Cells {
+		for lo, idx := 0, 0; lo < norm.TrialsPerCell; lo, idx = lo+norm.ShardTrials, idx+1 {
+			hi := lo + norm.ShardTrials
+			if hi > norm.TrialsPerCell {
+				hi = norm.TrialsPerCell
+			}
+			p.Shards = append(p.Shards, Shard{Cell: cell.Index, Index: idx, Lo: lo, Hi: hi})
+		}
+	}
+	return p, nil
+}
+
+// Trials returns the total trial count of the plan.
+func (p *Plan) Trials() int { return len(p.Cells) * p.Config.TrialsPerCell }
+
+// trialSeed derives the fault stream root for one trial: a two-level
+// splitmix64 split keyed by cell then trial, so any shard can be
+// regenerated in isolation and reordering shards cannot change any
+// trial's faults.
+func (p *Plan) trialSeed(cell, trial int) int64 {
+	return fault.SubSeed(fault.SubSeed(p.Config.Seed, cell), trial)
+}
+
+// TrialOptions builds the core.Options for one trial of one cell:
+// single attempt (campaigns classify outcomes, they don't ride
+// restarts), the cell's fault class expanded into a seeded Poisson
+// scenario stream.
+func (p *Plan) TrialOptions(cell, trial int) core.Options {
+	c := p.Cells[cell]
+	scns := fault.Campaign(fault.CampaignConfig{
+		Blocks:           p.Config.N / c.nb,
+		BlockSize:        c.nb,
+		RatePerIteration: p.Config.RatePerIteration,
+		Seed:             p.trialSeed(cell, trial),
+		Class:            c.Class,
+		Delta:            p.Config.Delta,
+		BurstSize:        p.Config.BurstSize,
+	})
+	return core.Options{
+		N:                p.Config.N,
+		BlockSize:        c.nb,
+		K:                p.Config.K,
+		ChecksumVectors:  p.Config.ChecksumVectors,
+		Scheme:           c.Scheme,
+		Profile:          c.profile,
+		MaxAttempts:      1,
+		ConcurrentRecalc: true,
+		Scenarios:        scns,
+	}
+}

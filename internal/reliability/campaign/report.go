@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"abftchol/internal/core"
+	"abftchol/internal/reliability"
+)
+
+// Counts is the per-shard (and per-cell) outcome tally. Field order
+// and tags are part of the journal/report format.
+type Counts struct {
+	Clean         int `json:"clean"`
+	Corrected     int `json:"detected_corrected"`
+	Uncorrectable int `json:"detected_uncorrectable"`
+	Silent        int `json:"silent_corruption"`
+}
+
+// Add tallies one classified trial.
+func (c *Counts) Add(o reliability.Outcome) error {
+	switch o {
+	case reliability.OutcomeClean:
+		c.Clean++
+	case reliability.OutcomeDetectedCorrected:
+		c.Corrected++
+	case reliability.OutcomeDetectedUncorrectable:
+		c.Uncorrectable++
+	case reliability.OutcomeSilentCorruption:
+		c.Silent++
+	default:
+		return fmt.Errorf("campaign: unknown outcome %v", o)
+	}
+	return nil
+}
+
+// Merge accumulates another tally.
+func (c *Counts) Merge(d Counts) {
+	c.Clean += d.Clean
+	c.Corrected += d.Corrected
+	c.Uncorrectable += d.Uncorrectable
+	c.Silent += d.Silent
+}
+
+// Total is the number of trials tallied.
+func (c Counts) Total() int { return c.Clean + c.Corrected + c.Uncorrectable + c.Silent }
+
+// StruckCount is the number of trials in which at least one fault
+// fired.
+func (c Counts) StruckCount() int { return c.Corrected + c.Uncorrectable + c.Silent }
+
+// CellReport is one grid cell's aggregate: raw tallies plus
+// struck-conditioned rates with Wilson 95% intervals. Rates condition
+// on struck trials because a clean trial says nothing about the
+// scheme's fault response — the struck fraction itself is governed by
+// the configured Poisson rate, not the scheme.
+type CellReport struct {
+	Cell    string `json:"cell"`
+	Machine string `json:"machine"`
+	Scheme  string `json:"scheme"`
+	Class   string `json:"class"`
+
+	Trials int    `json:"trials"`
+	Struck int    `json:"struck"`
+	Counts Counts `json:"counts"`
+
+	// Detected is the coverage rate: (corrected + uncorrectable) /
+	// struck — the probability the scheme noticed the fault at all.
+	Detected      reliability.Interval `json:"detected"`
+	Corrected     reliability.Interval `json:"corrected"`
+	Uncorrectable reliability.Interval `json:"uncorrectable"`
+	Silent        reliability.Interval `json:"silent"`
+}
+
+// Report is the campaign's final aggregate — the BENCH_reliability
+// payload. Building it is a pure function of (plan, per-cell counts),
+// and Marshal is deterministic, which is what the resume and
+// serial-vs-parallel byte-identity tests assert.
+type Report struct {
+	Kind        string       `json:"kind"`
+	Version     int          `json:"version"`
+	Fingerprint string       `json:"fingerprint"`
+	Config      Config       `json:"config"`
+	TotalTrials int          `json:"total_trials"`
+	TotalStruck int          `json:"total_struck"`
+	Cells       []CellReport `json:"cells"`
+}
+
+// ReportKind identifies campaign reports among the repo's BENCH_*
+// artifacts.
+const ReportKind = "abft-reliability-campaign"
+
+// BuildReport aggregates per-cell counts (indexed by Cell.Index) into
+// the final report, in plan order.
+func BuildReport(p *Plan, fingerprint string, perCell map[int]Counts) *Report {
+	r := &Report{
+		Kind:        ReportKind,
+		Version:     1,
+		Fingerprint: fingerprint,
+		Config:      p.Config,
+	}
+	for _, cell := range p.Cells {
+		counts := perCell[cell.Index]
+		struck := counts.StruckCount()
+		cr := CellReport{
+			Cell:          cell.Key(),
+			Machine:       cell.Machine,
+			Scheme:        core.SchemeKey(cell.Scheme),
+			Class:         cell.Class.Key(),
+			Trials:        counts.Total(),
+			Struck:        struck,
+			Counts:        counts,
+			Detected:      reliability.Wilson(counts.Corrected+counts.Uncorrectable, struck, reliability.Z95),
+			Corrected:     reliability.Wilson(counts.Corrected, struck, reliability.Z95),
+			Uncorrectable: reliability.Wilson(counts.Uncorrectable, struck, reliability.Z95),
+			Silent:        reliability.Wilson(counts.Silent, struck, reliability.Z95),
+		}
+		r.TotalTrials += cr.Trials
+		r.TotalStruck += cr.Struck
+		r.Cells = append(r.Cells, cr)
+	}
+	return r
+}
+
+// Marshal renders the canonical report bytes: indented JSON with a
+// trailing newline, byte-identical for equal inputs.
+func (r *Report) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

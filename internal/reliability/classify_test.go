@@ -1,0 +1,137 @@
+package reliability
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"abftchol/internal/core"
+	"abftchol/internal/fault"
+	"abftchol/internal/hetsim"
+)
+
+// trial runs one single-attempt factorization with the given scheme
+// and scenarios and classifies it.
+func trial(t *testing.T, scheme core.Scheme, scns []fault.Scenario) Outcome {
+	t.Helper()
+	o := core.Options{
+		N:                256,
+		BlockSize:        32,
+		K:                2,
+		Scheme:           scheme,
+		Profile:          hetsim.Laptop(),
+		MaxAttempts:      1,
+		ConcurrentRecalc: true,
+		Scenarios:        scns,
+	}
+	res, err := core.Run(o)
+	out, cerr := Classify(res, err)
+	if cerr != nil {
+		t.Fatalf("classify %v/%v: %v", scheme, scns, cerr)
+	}
+	return out
+}
+
+// TestClassifyAgainstCore pins the taxonomy to the engine's actual
+// behavior for the canonical cases of the paper's model.
+func TestClassifyAgainstCore(t *testing.T) {
+	storage := fault.Scenario{Kind: fault.Storage, Iter: 4, BI: 5, BJ: 2, Row: 3, Col: 7, Delta: 100}
+	burst := []fault.Scenario{
+		{Kind: fault.Storage, Iter: 4, BI: 5, BJ: 2, Row: 3, Col: 7, Delta: 100},
+		{Kind: fault.Storage, Iter: 4, BI: 5, BJ: 2, Row: 6, Col: 7, Delta: 100},
+	}
+
+	// No faults: clean for every scheme.
+	for _, s := range []core.Scheme{core.SchemeNone, core.SchemeOnline, core.SchemeEnhanced} {
+		if got := trial(t, s, nil); got != OutcomeClean {
+			t.Fatalf("%v clean trial classified %v", s, got)
+		}
+	}
+	// Unprotected MAGMA ships the corruption silently.
+	if got := trial(t, core.SchemeNone, []fault.Scenario{storage}); got != OutcomeSilentCorruption {
+		t.Fatalf("magma storage fault classified %v", got)
+	}
+	// Enhanced verifies before read: single storage fault corrected.
+	if got := trial(t, core.SchemeEnhanced, []fault.Scenario{storage}); got != OutcomeDetectedCorrected {
+		t.Fatalf("enhanced storage fault classified %v", got)
+	}
+	// Two faults in one column exceed the m=2 code's single-error
+	// correction: detected but uncorrectable.
+	if got := trial(t, core.SchemeEnhanced, burst); got != OutcomeDetectedUncorrectable {
+		t.Fatalf("enhanced burst classified %v", got)
+	}
+	// Online only verifies after writes: a storage fault in an
+	// already-factored block escapes until the final audit — the
+	// Enhanced-vs-Online gap that motivates the paper.
+	if got := trial(t, core.SchemeOnline, []fault.Scenario{storage}); got != OutcomeSilentCorruption {
+		t.Fatalf("online storage fault classified %v", got)
+	}
+	// A compute fault lands in a block Online verifies after the
+	// write, so it is corrected.
+	compute := fault.Scenario{Kind: fault.Computation, Op: fault.OpGEMM, Iter: 3, BI: 5, BJ: 3, Row: 2, Col: 4, Delta: 100}
+	if got := trial(t, core.SchemeOnline, []fault.Scenario{compute}); got != OutcomeDetectedCorrected {
+		t.Fatalf("online compute fault classified %v", got)
+	}
+}
+
+func TestClassifyRejectsMultiAttempt(t *testing.T) {
+	if _, err := Classify(core.Result{Attempts: 2}, nil); err == nil {
+		t.Fatal("multi-attempt result accepted")
+	}
+	if _, err := Classify(core.Result{Attempts: 1}, errors.New("core: block size must divide n")); err == nil {
+		t.Fatal("non-taxonomy error accepted")
+	}
+}
+
+func TestOutcomeKeysStable(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeClean:                 "clean",
+		OutcomeDetectedCorrected:     "detected-corrected",
+		OutcomeDetectedUncorrectable: "detected-uncorrectable",
+		OutcomeSilentCorruption:      "silent-corruption",
+	}
+	for _, o := range Outcomes() {
+		if o.String() != want[o] {
+			t.Fatalf("outcome %d renders %q", int(o), o)
+		}
+		if o.Describe() == "" {
+			t.Fatalf("outcome %v lacks a description", o)
+		}
+		if o.Struck() != (o != OutcomeClean) {
+			t.Fatalf("Struck wrong for %v", o)
+		}
+	}
+	if Outcome(99).String() == "" {
+		t.Fatal("unknown outcome renders empty")
+	}
+}
+
+func TestWilson(t *testing.T) {
+	// Vacuous interval at n=0.
+	if iv := Wilson(0, 0, Z95); iv.Rate != 0 || iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("n=0 interval %+v", iv)
+	}
+	// Known value: k=8, n=10, z=1.96 gives the classic Wilson example
+	// (~0.49, ~0.943).
+	iv := Wilson(8, 10, Z95)
+	if math.Abs(iv.Rate-0.8) > 1e-12 {
+		t.Fatalf("rate %v", iv.Rate)
+	}
+	if math.Abs(iv.Lo-0.4901) > 5e-3 || math.Abs(iv.Hi-0.9433) > 5e-3 {
+		t.Fatalf("interval [%.4f, %.4f]", iv.Lo, iv.Hi)
+	}
+	// Degenerate proportions stay inside [0,1] and exclude nothing
+	// they shouldn't.
+	if iv := Wilson(0, 50, Z95); iv.Lo != 0 || iv.Hi <= 0 || iv.Hi >= 0.2 {
+		t.Fatalf("k=0 interval %+v", iv)
+	}
+	if iv := Wilson(50, 50, Z95); iv.Hi != 1 || iv.Lo >= 1 || iv.Lo <= 0.8 {
+		t.Fatalf("k=n interval %+v", iv)
+	}
+	// Monotone in n: more evidence tightens the interval.
+	wide := Wilson(8, 10, Z95)
+	tight := Wilson(800, 1000, Z95)
+	if tight.Hi-tight.Lo >= wide.Hi-wide.Lo {
+		t.Fatal("interval failed to tighten with n")
+	}
+}

@@ -1,0 +1,44 @@
+// Binomial interval estimation for campaign coverage rates. The
+// Wilson score interval is the standard choice for proportions near 0
+// or 1 (exactly where detection/correction rates live): unlike the
+// normal approximation it never leaves [0,1] and stays calibrated at
+// small n.
+
+package reliability
+
+import "math"
+
+// Z95 is the two-sided 95% normal quantile used for campaign
+// confidence intervals.
+const Z95 = 1.959963984540054
+
+// Interval is a point estimate with its Wilson score bounds.
+type Interval struct {
+	Rate float64 `json:"rate"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+}
+
+// Wilson returns the k/n proportion with its Wilson score interval at
+// confidence level z (standard normal quantile). n == 0 yields the
+// vacuous (0, [0,1]) interval.
+func Wilson(k, n int, z float64) Interval {
+	if n <= 0 {
+		return Interval{Rate: 0, Lo: 0, Hi: 1}
+	}
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := (p + z2/(2*nn)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn))
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Rate: p, Lo: lo, Hi: hi}
+}

@@ -10,6 +10,7 @@ import (
 	"abftchol/internal/experiments"
 	"abftchol/internal/fault"
 	"abftchol/internal/hetsim"
+	"abftchol/internal/reliability/campaign"
 )
 
 // JobRequest is the body of POST /v1/jobs: one factorization point,
@@ -61,43 +62,16 @@ type JobRequest struct {
 	Trace bool `json:"trace,omitempty"`
 }
 
-// schemeKeys is the API spelling of each scheme — the same words the
-// CLI's -scheme flag takes.
-var schemeKeys = map[core.Scheme]string{
-	core.SchemeNone:        "magma",
-	core.SchemeCULA:        "cula",
-	core.SchemeOffline:     "offline",
-	core.SchemeOnline:      "online",
-	core.SchemeEnhanced:    "enhanced",
-	core.SchemeOnlineScrub: "scrub",
-}
-
-// SchemeKey returns the request spelling of a scheme.
+// SchemeKey returns the request spelling of a scheme — the same words
+// the CLI's -scheme flag takes (core owns the canonical table).
 func SchemeKey(s core.Scheme) string {
-	if k, ok := schemeKeys[s]; ok {
-		return k
-	}
-	return s.String()
+	return core.SchemeKey(s)
 }
 
 // ParseScheme resolves the request (and CLI -scheme flag) spelling of
 // a fault-tolerance scheme.
 func ParseScheme(s string) (core.Scheme, error) {
-	switch strings.ToLower(s) {
-	case "magma", "none":
-		return core.SchemeNone, nil
-	case "cula":
-		return core.SchemeCULA, nil
-	case "offline":
-		return core.SchemeOffline, nil
-	case "online":
-		return core.SchemeOnline, nil
-	case "enhanced":
-		return core.SchemeEnhanced, nil
-	case "scrub", "online+scrub":
-		return core.SchemeOnlineScrub, nil
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
+	return core.ParseScheme(s)
 }
 
 // ParsePlacement resolves the request (and CLI -placement flag)
@@ -295,6 +269,20 @@ type JobList struct {
 	Jobs []JobInfo `json:"jobs"`
 }
 
+// CampaignInfo is the status body of a reliability campaign. Attached
+// counts later submissions of the same config that were deduped onto
+// this execution by fingerprint.
+type CampaignInfo struct {
+	ID          string          `json:"id"`
+	State       State           `json:"state"`
+	Fingerprint string          `json:"fingerprint"`
+	Config      campaign.Config `json:"config"`
+	Attached    int             `json:"attached"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
 // JobResult is the body of GET /v1/jobs/{id}/result.
 type JobResult struct {
 	ID          string                 `json:"id"`
@@ -341,6 +329,7 @@ type ErrorCode struct {
 var ErrorCodes = []ErrorCode{
 	{"invalid_request", 400, "the request body is not valid JSON, names unknown fields, or fails option validation (unknown scheme, missing machine, conflicting inject/scenarios)"},
 	{"unknown_job", 404, "no job with this ID exists (IDs are not persisted across daemon restarts)"},
+	{"unknown_campaign", 404, "no campaign with this ID exists (IDs are not persisted across daemon restarts)"},
 	{"no_trace", 404, "the job was submitted without \"trace\": true, so no timeline was recorded"},
 	{"not_finished", 409, "the resource needs a terminal job (result, metrics, trace) but the job is still queued or running"},
 	{"job_failed", 409, "a result was requested but the job failed or was canceled; the job status carries the reason"},

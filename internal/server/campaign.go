@@ -1,0 +1,259 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"abftchol/internal/experiments"
+	"abftchol/internal/obs"
+	"abftchol/internal/reliability/campaign"
+)
+
+// Campaign jobs: the daemon's second job kind. A reliability campaign
+// is submitted as a campaign.Config, keyed by the config's SHA-256
+// fingerprint exactly as factorization jobs are keyed by their options
+// fingerprint — concurrent submissions of the same campaign attach to
+// one execution (the leader) instead of running twice. Campaigns do
+// not pass through the bounded job queue: each runs on its own
+// execWG-tracked goroutine and its trials contend for CPU inside a
+// private scheduler, so a long campaign cannot starve the
+// factorization worker pool's queue slots, and graceful drain joins
+// it like any in-flight execution.
+
+// campaignJob is one campaign's lifecycle. Mutable fields are guarded
+// by Server.mu; changed is closed-and-replaced on every transition.
+type campaignJob struct {
+	id  string
+	fp  string
+	cfg campaign.Config // normalized
+
+	state     State
+	errMsg    string
+	submitted time.Time
+	finished  time.Time
+	attached  int // follower submissions deduped onto this campaign
+	report    []byte
+	changed   chan struct{}
+}
+
+// newCampaign registers a campaign (or attaches to the in-flight or
+// finished one with the same fingerprint) and starts its execution.
+// The bool reports whether the daemon accepted it (false: draining);
+// leader is false for deduped followers.
+func (s *Server) newCampaign(cfg campaign.Config, fp string) (cj *campaignJob, leader, ok bool) {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false, false
+	}
+	if existing, dup := s.campaignsByFP[fp]; dup && existing.state != StateFailed {
+		existing.attached++
+		s.mu.Unlock()
+		return existing, false, true
+	}
+	s.cseq++
+	cj = &campaignJob{
+		id:        newCampaignID(s.cseq),
+		fp:        fp,
+		cfg:       cfg,
+		state:     StateRunning,
+		submitted: now,
+		changed:   make(chan struct{}),
+	}
+	s.campaigns[cj.id] = cj
+	s.campaignsByFP[fp] = cj
+	s.mu.Unlock()
+	// The Add happens outside mu like process()'s: Shutdown joins HTTP
+	// handlers (httpSrv.Shutdown) before it reaches execWG.Wait, so the
+	// Add of an accepted campaign always precedes the Wait.
+	s.execWG.Add(1)
+	go s.execCampaign(cj)
+	return cj, true, true
+}
+
+// newCampaignID mirrors the job ID scheme with a distinct prefix.
+func newCampaignID(seq int) string {
+	return fmt.Sprintf("c-%06d", seq)
+}
+
+// execCampaign runs the campaign on a private scheduler — private so
+// ten thousand trial fingerprints do not flood the shared scheduler's
+// memoization map or the on-disk cache — and publishes the canonical
+// report bytes. Campaign metrics record into a private registry and
+// merge into the global one, mirroring execJob.
+func (s *Server) execCampaign(cj *campaignJob) {
+	defer s.execWG.Done()
+	sink := obs.NewRegistry()
+	sched := experiments.NewScheduler(s.cfg.Workers, nil)
+	report, err := campaign.Run(cj.cfg, sched, campaign.RunOptions{Metrics: sink})
+	var data []byte
+	if err == nil {
+		data, err = report.Marshal()
+	}
+	s.reg.Merge(sink)
+
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	cj.finished = now
+	if err != nil {
+		cj.state = StateFailed
+		cj.errMsg = err.Error()
+	} else {
+		cj.state = StateDone
+		cj.report = data
+	}
+	close(cj.changed)
+	cj.changed = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// campaignInfoLocked renders a campaign's status body. Callers hold
+// s.mu.
+func (s *Server) campaignInfoLocked(cj *campaignJob) CampaignInfo {
+	info := CampaignInfo{
+		ID:          cj.id,
+		State:       cj.state,
+		Fingerprint: cj.fp,
+		Config:      cj.cfg,
+		Attached:    cj.attached,
+		SubmittedAt: cj.submitted,
+		Error:       cj.errMsg,
+	}
+	if !cj.finished.IsZero() {
+		t := cj.finished
+		info.FinishedAt = &t
+	}
+	return info
+}
+
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		failJSON(w, http.StatusServiceUnavailable, "draining", "daemon is shutting down; submissions are closed")
+		return
+	}
+	if s.limiter != nil {
+		if ok, retry := s.limiter.allow(clientKey(r)); !ok {
+			s.reg.Inc("server.jobs.rejected.rate")
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retry)))
+			failJSON(w, http.StatusTooManyRequests, "rate_limited", "client %q exhausted its token bucket; retry after %d s", clientKey(r), retrySeconds(retry))
+			return
+		}
+	}
+	var cfg campaign.Config
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		failJSON(w, http.StatusBadRequest, "invalid_request", "decode body: %v", err)
+		return
+	}
+	norm, err := cfg.Normalize()
+	if err != nil {
+		failJSON(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+	fp, err := norm.Fingerprint()
+	if err != nil {
+		failJSON(w, http.StatusBadRequest, "invalid_request", "%v", err)
+		return
+	}
+	cj, leader, ok := s.newCampaign(norm, fp)
+	if !ok {
+		failJSON(w, http.StatusServiceUnavailable, "draining", "daemon is shutting down; submissions are closed")
+		return
+	}
+	if leader {
+		s.reg.Inc("server.campaigns.submitted")
+	} else {
+		s.reg.Inc("server.campaigns.deduped")
+	}
+	s.mu.Lock()
+	info := s.campaignInfoLocked(cj)
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/campaigns/"+cj.id)
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+// lookupCampaign resolves a path's campaign ID, writing the 404
+// itself on a miss.
+func (s *Server) lookupCampaign(w http.ResponseWriter, r *http.Request) (*campaignJob, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	cj, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		failJSON(w, http.StatusNotFound, "unknown_campaign", "no campaign %q (IDs do not survive daemon restarts)", id)
+	}
+	return cj, ok
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	cj, ok := s.lookupCampaign(w, r)
+	if !ok {
+		return
+	}
+	var wait time.Duration
+	if wq := r.URL.Query().Get("wait"); wq != "" {
+		d, err := time.ParseDuration(wq)
+		if err != nil || d < 0 {
+			failJSON(w, http.StatusBadRequest, "invalid_request", "bad wait %q: want a duration like 30s", wq)
+			return
+		}
+		if d > maxWait {
+			d = maxWait
+		}
+		wait = d
+	}
+	var expired <-chan time.Time
+	if wait > 0 {
+		expired = s.cfg.Clock.After(wait)
+	}
+	for {
+		s.mu.Lock()
+		info := s.campaignInfoLocked(cj)
+		ch := cj.changed
+		s.mu.Unlock()
+		if wait == 0 || info.State.Terminal() {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+		select {
+		case <-ch:
+			// state moved; re-snapshot
+		case <-expired:
+			writeJSON(w, http.StatusOK, info)
+			return
+		case <-s.quit:
+			writeJSON(w, http.StatusOK, info)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
+	cj, ok := s.lookupCampaign(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	state, errMsg, report := cj.state, cj.errMsg, cj.report
+	s.mu.Unlock()
+	switch {
+	case state == StateFailed:
+		failJSON(w, http.StatusConflict, "job_failed", "campaign %s failed: %s", cj.id, errMsg)
+	case state != StateDone:
+		failJSON(w, http.StatusConflict, "not_finished", "campaign %s is %s; the report needs state done", cj.id, state)
+	default:
+		// The raw canonical bytes — byte-identical to a local
+		// campaign.Run of the same config (the differential test pins
+		// this).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(report)
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"abftchol/internal/experiments"
+	"abftchol/internal/reliability/campaign"
+)
+
+// testCampaignConfig is small enough for an HTTP round trip in test
+// time but large enough that every scheme sees struck trials.
+func testCampaignConfig() campaign.Config {
+	return campaign.Config{
+		Schemes:          []string{"magma", "online", "enhanced"},
+		Classes:          []string{"storage-offset", "storage-offset-burst"},
+		N:                256,
+		RatePerIteration: 0.2,
+		TrialsPerCell:    12,
+		ShardTrials:      4,
+		Seed:             31,
+	}
+}
+
+// TestCampaignDifferentialLocalVsHTTP extends the local-vs-HTTP
+// differential battery to the campaign job kind: the same config run
+// serially in-process, in parallel in-process, and through a live
+// daemon must produce byte-identical report bodies.
+func TestCampaignDifferentialLocalVsHTTP(t *testing.T) {
+	cfg := testCampaignConfig()
+
+	serialReport, err := campaign.Run(cfg, experiments.NewScheduler(1, nil), campaign.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialReport.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelReport, err := campaign.Run(cfg, experiments.NewScheduler(8, nil), campaign.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := parallelReport.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(serial) != string(parallel) {
+		t.Fatal("parallel campaign differs from serial")
+	}
+
+	_, c := newTestServer(t, Config{Workers: 4})
+	remote, err := c.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(remote) != string(serial) {
+		t.Fatal("daemon campaign report differs from local run")
+	}
+}
+
+// TestCampaignLifecycleAndDedup covers the wire surface: submit,
+// status, fingerprint dedup of an identical config, and the error
+// paths of the report endpoint.
+func TestCampaignLifecycleAndDedup(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 4})
+	cfg := testCampaignConfig()
+
+	info, err := c.SubmitCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(info.ID, "c-") || info.Fingerprint == "" {
+		t.Fatalf("submit response: %+v", info)
+	}
+	if info.Config.TrialsPerCell != cfg.TrialsPerCell {
+		t.Fatalf("submit response did not echo the normalized config: %+v", info.Config)
+	}
+
+	// An identical config attaches to the same execution.
+	dup, err := c.SubmitCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != info.ID {
+		t.Fatalf("identical config got a new campaign: %s vs %s", dup.ID, info.ID)
+	}
+	if dup.Attached != 1 {
+		t.Fatalf("attached = %d", dup.Attached)
+	}
+	// A different seed is a different campaign.
+	other := cfg
+	other.Seed = 99
+	fresh, err := c.SubmitCampaign(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == info.ID || fresh.Fingerprint == info.Fingerprint {
+		t.Fatal("distinct configs share a campaign")
+	}
+
+	done, err := c.WaitCampaign(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone || done.FinishedAt == nil {
+		t.Fatalf("terminal campaign: %+v", done)
+	}
+	report, err := c.CampaignReport(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(report), campaign.ReportKind) {
+		t.Fatalf("report body lacks kind marker: %.120s", report)
+	}
+
+	// Wire errors: unknown ID, invalid config, unknown fields.
+	if _, err := c.CampaignReport("c-999999"); err == nil || !strings.Contains(err.Error(), "no campaign") {
+		t.Fatalf("unknown campaign: %v", err)
+	}
+	if _, err := c.SubmitCampaign(campaign.Config{Schemes: []string{"hybrid"}}); err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Fatalf("invalid config accepted: %v", err)
+	}
+
+	// The global metrics snapshot carries the campaign accounting.
+	if _, err := c.WaitCampaign(fresh.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.reg.Counter("server.campaigns.submitted"); got != 2 {
+		t.Fatalf("campaigns.submitted = %d", got)
+	}
+	if got := s.reg.Counter("server.campaigns.deduped"); got != 1 {
+		t.Fatalf("campaigns.deduped = %d", got)
+	}
+	if got := s.reg.Counter("campaign.trials.executed"); got == 0 {
+		t.Fatal("campaign trial counters did not merge into the global registry")
+	}
+}

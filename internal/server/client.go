@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"abftchol/internal/core"
+	"abftchol/internal/reliability/campaign"
 )
 
 // Client is the daemon's reference HTTP client; cmd/abftchol's
@@ -158,6 +159,50 @@ func (c *Client) raw(path string) ([]byte, error) {
 		return nil, fmt.Errorf("server client: GET %s: HTTP %d", path, resp.StatusCode)
 	}
 	return data, nil
+}
+
+// SubmitCampaign submits a reliability campaign config.
+func (c *Client) SubmitCampaign(cfg campaign.Config) (CampaignInfo, error) {
+	var info CampaignInfo
+	err := c.do(http.MethodPost, "/v1/campaigns", cfg, &info)
+	return info, err
+}
+
+// WaitCampaign long-polls until the campaign reaches a terminal
+// state.
+func (c *Client) WaitCampaign(id string) (CampaignInfo, error) {
+	for {
+		var info CampaignInfo
+		if err := c.do(http.MethodGet, "/v1/campaigns/"+id+"?wait=60s", nil, &info); err != nil {
+			return info, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+	}
+}
+
+// CampaignReport fetches a done campaign's raw report bytes —
+// byte-identical to a local campaign.Run of the same config.
+func (c *Client) CampaignReport(id string) ([]byte, error) {
+	return c.raw("/v1/campaigns/" + id + "/report")
+}
+
+// RunCampaign resolves one campaign through the daemon: submit, wait,
+// fetch the canonical report bytes.
+func (c *Client) RunCampaign(cfg campaign.Config) ([]byte, error) {
+	info, err := c.SubmitCampaign(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("submit campaign: %w", err)
+	}
+	info, err = c.WaitCampaign(info.ID)
+	if err != nil {
+		return nil, fmt.Errorf("wait campaign %s: %w", info.ID, err)
+	}
+	if info.State != StateDone {
+		return nil, fmt.Errorf("campaign %s: %s", info.ID, info.Error)
+	}
+	return c.CampaignReport(info.ID)
 }
 
 // RunPoint resolves one options point through the daemon: submit,

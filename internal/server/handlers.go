@@ -34,6 +34,9 @@ func Routes() []Route {
 		{"GET", "/v1/jobs/{id}/result", "the factorization result (jobs in state done)"},
 		{"GET", "/v1/jobs/{id}/metrics", "this job's private metrics snapshot — byte-identical to a local run's -metrics-out"},
 		{"GET", "/v1/jobs/{id}/trace", "Chrome/Perfetto trace-event timeline (jobs submitted with \"trace\": true)"},
+		{"POST", "/v1/campaigns", "submit a reliability campaign (a campaign.Config body); identical configs dedup onto one execution by fingerprint"},
+		{"GET", "/v1/campaigns/{id}", "campaign status; `?wait=30s` long-polls until the campaign is terminal or the wait expires"},
+		{"GET", "/v1/campaigns/{id}/report", "the aggregated coverage report — byte-identical to a local campaign run of the same config"},
 	}
 }
 
@@ -53,6 +56,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleCampaignReport)
 	return mux
 }
 

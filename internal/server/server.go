@@ -117,10 +117,13 @@ type Server struct {
 	workerWG sync.WaitGroup // the fixed worker pool
 	execWG   sync.WaitGroup // in-flight factorizations (may outlive their worker on timeout)
 
-	mu       sync.Mutex // guards: jobs, seq, draining
-	jobs     map[string]*job
-	seq      int
-	draining bool
+	mu            sync.Mutex // guards: jobs, seq, campaigns, campaignsByFP, cseq, draining
+	jobs          map[string]*job
+	seq           int
+	campaigns     map[string]*campaignJob
+	campaignsByFP map[string]*campaignJob
+	cseq          int
+	draining      bool
 }
 
 // New builds a daemon and starts its worker pool. The caller owns the
@@ -139,12 +142,14 @@ func New(cfg Config) (*Server, error) {
 		cfg.RateBurst = 8
 	}
 	s := &Server{
-		cfg:   cfg,
-		sched: experiments.NewScheduler(cfg.Workers, cfg.Cache),
-		reg:   obs.NewRegistry(),
-		queue: make(chan *job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		jobs:  make(map[string]*job),
+		cfg:           cfg,
+		sched:         experiments.NewScheduler(cfg.Workers, cfg.Cache),
+		reg:           obs.NewRegistry(),
+		queue:         make(chan *job, cfg.QueueDepth),
+		quit:          make(chan struct{}),
+		jobs:          make(map[string]*job),
+		campaigns:     make(map[string]*campaignJob),
+		campaignsByFP: make(map[string]*campaignJob),
 	}
 	if cfg.RatePerSec > 0 {
 		s.limiter = newRateLimiter(cfg.RatePerSec, float64(cfg.RateBurst), cfg.Clock.Now)

@@ -2,7 +2,9 @@
 // packages that promise it: the simulator reporting layer
 // (internal/hetsim), the observability layer (internal/obs), the sweep
 // engine (internal/experiments), the job daemon (internal/server),
-// and the CLI (cmd/abftchol). The
+// the reliability campaign engine (internal/reliability, whose report
+// bytes must survive kill-and-resume unchanged), and the CLI
+// (cmd/abftchol). The
 // differential test battery asserts byte-identical text/CSV/JSON at
 // -parallel 1 and -parallel N, and the golden-output tests assert
 // byte-identical runs across processes; Go map iteration order is
@@ -46,12 +48,13 @@ const Doc = "forbid map iteration order from reaching emitted output (range over
 var Analyzer = &analysis.Analyzer{
 	Name:  "detorder",
 	Doc:   Doc,
-	Scope: "internal/obs, internal/experiments, internal/hetsim, internal/server, cmd/abftchol",
+	Scope: "internal/obs, internal/experiments, internal/hetsim, internal/server, internal/reliability, cmd/abftchol",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/obs",
 		"abftchol/internal/experiments",
 		"abftchol/internal/hetsim",
 		"abftchol/internal/server",
+		"abftchol/internal/reliability",
 		"abftchol/cmd/abftchol",
 	),
 	Run: run,

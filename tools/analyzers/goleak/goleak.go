@@ -1,7 +1,8 @@
 // Package goleak verifies that every goroutine spawned by the
 // parallel sweep engine (internal/experiments), the blocked
-// right-looking kernels (internal/blas), and the job daemon
-// (internal/server) is joined before its spawner
+// right-looking kernels (internal/blas), the job daemon
+// (internal/server), and the reliability campaign engine
+// (internal/reliability) is joined before its spawner
 // returns. The engine's determinism contract — byte-identical output
 // at -parallel 1 and -parallel N — relies on every worker finishing
 // before results are assembled; a leaked goroutine is a worker whose
@@ -41,12 +42,13 @@ const Doc = "require every go statement to have a join point reachable on all ex
 var Analyzer = &analysis.Analyzer{
 	Name:  "goleak",
 	Doc:   Doc,
-	Scope: "internal/experiments, internal/blas, internal/checksum, internal/server",
+	Scope: "internal/experiments, internal/blas, internal/checksum, internal/server, internal/reliability",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/experiments",
 		"abftchol/internal/blas",
 		"abftchol/internal/checksum",
 		"abftchol/internal/server",
+		"abftchol/internal/reliability",
 	),
 	Run: run,
 }

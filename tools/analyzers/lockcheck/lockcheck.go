@@ -1,6 +1,7 @@
 // Package lockcheck enforces lock discipline in the parallel sweep
-// engine's shared state (internal/obs, internal/experiments) and the
-// job daemon's (internal/server). The
+// engine's shared state (internal/obs, internal/experiments), the
+// job daemon's (internal/server), and the reliability campaign
+// engine's (internal/reliability). The
 // engine promises byte-identical serial/parallel output, which holds
 // only while every mutation of shared state happens under its mutex —
 // the same "verify before you trust shared memory" discipline the
@@ -49,13 +50,14 @@ const Doc = "require guarded struct fields (seeded by // guards: comments, infer
 var Analyzer = &analysis.Analyzer{
 	Name:  "lockcheck",
 	Doc:   Doc,
-	Scope: "internal/obs, internal/experiments, internal/checksum, internal/blas, internal/server",
+	Scope: "internal/obs, internal/experiments, internal/checksum, internal/blas, internal/server, internal/reliability",
 	AppliesTo: analysis.PathIn(
 		"abftchol/internal/obs",
 		"abftchol/internal/experiments",
 		"abftchol/internal/checksum",
 		"abftchol/internal/blas",
 		"abftchol/internal/server",
+		"abftchol/internal/reliability",
 	),
 	Run: run,
 }

@@ -1,0 +1,249 @@
+// Command campaignsmoke is the scripted kill-and-resume check behind
+// `make campaign-smoke`: it builds cmd/abftchol, runs a reference
+// reliability campaign to completion, starts the identical campaign in
+// a fresh journal directory and SIGKILLs it mid-shard (watching the
+// journal grow to time the kill), resumes from the torn journal, and
+// proves the resumed report is byte-identical to the uninterrupted
+// one. The transcript lands in artifacts/campaign-smoke.txt (CI
+// uploads it); any failed expectation exits nonzero.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// campaignFlags is the one grid the whole session revolves around; it
+// must stay identical across runs so the journal fingerprint matches.
+// Small N keeps each trial cheap; many small shards give the SIGKILL a
+// wide window to land mid-campaign.
+var campaignFlags = []string{
+	"-campaign",
+	"-schemes", "magma,online,enhanced",
+	"-classes", "storage-offset,storage-offset-burst",
+	"-n", "256", "-rate", "0.2",
+	"-trials", "600", "-shard-trials", "25",
+	"-seed", "7",
+}
+
+// totalShards is what the flags above plan: 3 schemes x 2 classes
+// cells, 600/25 shards each.
+const totalShards = 3 * 2 * (600 / 25)
+
+type smoke struct {
+	out    io.Writer
+	failed int
+}
+
+func (s *smoke) logf(format string, args ...interface{}) {
+	fmt.Fprintf(s.out, format+"\n", args...)
+}
+
+func (s *smoke) check(ok bool, what string, detail ...interface{}) {
+	mark := "ok  "
+	if !ok {
+		mark = "FAIL"
+		s.failed++
+	}
+	s.logf("%s %s", mark, fmt.Sprintf(what, detail...))
+}
+
+func main() {
+	if err := os.MkdirAll("artifacts", 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignsmoke:", err)
+		os.Exit(1)
+	}
+	transcript, err := os.Create("artifacts/campaign-smoke.txt")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaignsmoke:", err)
+		os.Exit(1)
+	}
+	defer transcript.Close()
+	s := &smoke{out: io.MultiWriter(os.Stdout, transcript)}
+
+	if err := s.run(); err != nil {
+		s.logf("FAIL %v", err)
+		s.failed++
+	}
+	if s.failed > 0 {
+		s.logf("campaign-smoke: %d failure(s)", s.failed)
+		os.Exit(1)
+	}
+	s.logf("campaign-smoke: PASS")
+}
+
+func (s *smoke) run() error {
+	work, err := os.MkdirTemp("", "campaignsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "abftchol")
+
+	s.logf("$ go build -o %s ./cmd/abftchol", bin)
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/abftchol").CombinedOutput(); err != nil {
+		return fmt.Errorf("build abftchol: %v\n%s", err, out)
+	}
+
+	// ---- reference: uninterrupted, unjournaled -------------------------
+	refOut := filepath.Join(work, "reference.json")
+	stderr, err := s.campaign(bin, "-campaign-dir", "", "-out", refOut)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+	s.check(strings.Contains(stderr, fmt.Sprintf("%d shards", totalShards)),
+		"reference campaign planned %d shards", totalShards)
+	ref, err := os.ReadFile(refOut)
+	if err != nil {
+		return err
+	}
+	s.check(len(ref) > 0, "reference report written (%d bytes)", len(ref))
+
+	// ---- interrupted: SIGKILL while the journal is growing -------------
+	dir := filepath.Join(work, "journal")
+	lines, fallback, err := s.killMidCampaign(bin, dir)
+	if err != nil {
+		return err
+	}
+	if fallback {
+		s.logf("    (campaign finished before the kill landed; journal truncated instead)")
+	}
+	s.check(lines >= 2, "journal survived the kill with a header and >=1 shard (%d lines)", lines)
+	s.check(lines < totalShards+1, "journal is incomplete: %d of %d shard records", lines-1, totalShards)
+
+	// ---- resume --------------------------------------------------------
+	resumedOut := filepath.Join(work, "resumed.json")
+	stderr, err = s.campaign(bin, "-campaign-dir", dir, "-out", resumedOut)
+	if err != nil {
+		return fmt.Errorf("resume run: %w", err)
+	}
+	s.check(strings.Contains(stderr, "resumed"), "resume run reports resumed shards")
+	resumed, err := os.ReadFile(resumedOut)
+	if err != nil {
+		return err
+	}
+	s.check(string(resumed) == string(ref),
+		"resumed report byte-identical to the uninterrupted run (%d bytes)", len(resumed))
+
+	// ---- replay: a completed journal executes nothing ------------------
+	replayOut := filepath.Join(work, "replay.json")
+	stderr, err = s.campaign(bin, "-campaign-dir", dir, "-out", replayOut)
+	if err != nil {
+		return fmt.Errorf("replay run: %w", err)
+	}
+	s.check(strings.Contains(stderr, fmt.Sprintf("resumed %d of %d shards", totalShards, totalShards)),
+		"replay resumes all %d shards from the journal", totalShards)
+	replay, err := os.ReadFile(replayOut)
+	if err != nil {
+		return err
+	}
+	s.check(string(replay) == string(ref), "replayed report byte-identical too")
+	return nil
+}
+
+// campaign runs one journaled campaign to completion and returns its
+// stderr transcript.
+func (s *smoke) campaign(bin string, extra ...string) (string, error) {
+	args := append(append([]string{}, campaignFlags...), extra...)
+	s.logf("$ abftchol %s", strings.Join(args, " "))
+	cmd := exec.Command(bin, args...)
+	stderr := &strings.Builder{}
+	cmd.Stderr = stderr
+	err := cmd.Run()
+	for _, line := range strings.Split(strings.TrimRight(stderr.String(), "\n"), "\n") {
+		if line != "" {
+			s.logf("    %s", line)
+		}
+	}
+	if err != nil {
+		return stderr.String(), fmt.Errorf("%v", err)
+	}
+	return stderr.String(), nil
+}
+
+// killMidCampaign starts the journaled campaign and SIGKILLs it once
+// the journal holds a handful of shard records, returning the torn
+// journal's line count. If the campaign wins the race and finishes
+// first, the journal is truncated to half its records instead
+// (fallback=true) so the resume leg still gets exercised.
+func (s *smoke) killMidCampaign(bin, dir string) (lines int, fallback bool, err error) {
+	args := append(append([]string{}, campaignFlags...), "-campaign-dir", dir, "-out", os.DevNull)
+	s.logf("$ abftchol %s   # SIGKILL mid-shard", strings.Join(args, " "))
+	cmd := exec.Command(bin, args...)
+	if err := cmd.Start(); err != nil {
+		return 0, false, fmt.Errorf("start: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	const killAfter = 12 // header + a dozen shard records: well inside the run
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case <-done:
+			// Finished before the kill: truncate to simulate the tear.
+			path, n, terr := s.truncateJournal(dir)
+			if terr != nil {
+				return 0, true, terr
+			}
+			s.logf("$ truncate %s to %d lines", filepath.Base(path), n)
+			return n, true, nil
+		case <-deadline:
+			cmd.Process.Kill()
+			<-done
+			return 0, false, fmt.Errorf("campaign still running after 60s")
+		case <-time.After(2 * time.Millisecond):
+			if n := journalLines(dir); n > killAfter {
+				s.logf("$ kill -KILL %d   # journal at %d lines", cmd.Process.Pid, n)
+				cmd.Process.Signal(syscall.SIGKILL)
+				<-done
+				return journalLines(dir), false, nil
+			}
+		}
+	}
+}
+
+// journalLines counts newline-terminated records across the journal
+// directory (one fingerprint-named file).
+func journalLines(dir string) int {
+	paths, _ := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	total := 0
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		total += strings.Count(string(data), "\n")
+	}
+	return total
+}
+
+// truncateJournal rewrites the journal keeping the header plus half
+// the shard records — the fallback tear for hosts fast enough to
+// finish before the kill lands.
+func (s *smoke) truncateJournal(dir string) (string, int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil || len(paths) != 1 {
+		return "", 0, fmt.Errorf("expected one journal in %s, found %d", dir, len(paths))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		return "", 0, err
+	}
+	all := strings.SplitAfter(string(data), "\n")
+	keep := 1 + (len(all)-1)/2
+	if keep < 2 {
+		return "", 0, fmt.Errorf("journal too short to tear (%d lines)", len(all))
+	}
+	kept := strings.Join(all[:keep], "")
+	if err := os.WriteFile(paths[0], []byte(kept), 0o644); err != nil {
+		return "", 0, err
+	}
+	return paths[0], keep, nil
+}

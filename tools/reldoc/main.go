@@ -1,0 +1,62 @@
+// Command reldoc rewrites the generated sections of
+// docs/RELIABILITY.md from the live code: the fault-class taxonomy
+// (fault.Classes), the trial-outcome taxonomy (reliability.Outcomes),
+// and a sample campaign — journal and report — executed in process
+// (campaign.DocSample). It is wired to
+// `go generate ./internal/reliability/campaign`; the campaign
+// package's doc drift test re-records the sample and asserts the
+// embedding, so a stale doc fails `go test` rather than rotting
+// silently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abftchol/internal/reliability/campaign"
+)
+
+func main() {
+	out := flag.String("out", "../../../docs/RELIABILITY.md", "markdown file whose generated sections to rewrite (path is relative to internal/reliability/campaign, where go generate runs)")
+	flag.Parse()
+	if err := rewrite(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "reldoc:", err)
+		os.Exit(1)
+	}
+}
+
+func rewrite(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sample, err := campaign.DocSample()
+	if err != nil {
+		return fmt.Errorf("record sample campaign: %w", err)
+	}
+	src := string(data)
+	for _, sec := range []struct {
+		begin, end, body string
+	}{
+		{campaign.ClassesBegin, campaign.ClassesEnd, campaign.ClassesTable()},
+		{campaign.OutcomesBegin, campaign.OutcomesEnd, campaign.OutcomesTable()},
+		{campaign.SampleBegin, campaign.SampleEnd, sample},
+	} {
+		src, err = replaceSection(src, sec.begin, sec.end, sec.body)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return os.WriteFile(path, []byte(src), 0o644)
+}
+
+func replaceSection(src, begin, end, body string) (string, error) {
+	b := strings.Index(src, begin)
+	e := strings.Index(src, end)
+	if b < 0 || e < 0 || e < b {
+		return "", fmt.Errorf("marker comments %q ... %q not found; the generated section needs a home", begin, end)
+	}
+	return src[:b] + begin + "\n" + body + src[e:], nil
+}

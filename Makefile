@@ -35,11 +35,16 @@ lint:
 # Time the analyzer suite itself: one full module load/type-check
 # (BenchmarkLoadRepo) and one pass of all registered analyzers over it
 # (BenchmarkSuite). The current figures live in docs/LINTING.md; rerun
-# this when adding an analyzer to keep them honest.
+# this when adding an analyzer to keep them honest. lintbudget then
+# gates the measured suite time against the committed BENCH_lint.json
+# baseline (fail past 3x): a suite that quietly tripled its own cost
+# is a regression, not noise. Re-record with
+# `go run ./tools/lintbudget -update` when the roster changes.
 lint-bench:
 	mkdir -p artifacts
 	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkSuite|BenchmarkSummaries|BenchmarkHotpath' -benchmem \
 		./tools/analyzers/analysis | tee artifacts/lint-bench.txt
+	$(GO) run ./tools/lintbudget | tee artifacts/lint-budget.txt
 
 # Rewrite files in place to satisfy the formatting gate.
 fmt:

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -86,7 +87,7 @@ func runCampaign(a campaignArgs) error {
 			}
 			opts.JournalPath = filepath.Join(a.dir, fp[:16]+".jsonl")
 		}
-		rep, err := campaign.Run(cfg, experiments.NewScheduler(a.workers, nil), opts)
+		rep, err := campaign.Run(context.Background(), cfg, experiments.NewScheduler(a.workers, nil), opts)
 		if err != nil {
 			return err
 		}

@@ -88,13 +88,21 @@ func load(patterns []string) []*analysis.Package {
 
 // jsonHeader is the first line of -json output: it names the suite
 // revision that produced the findings, so CI artifact diffs can tell
-// a changed tree from a changed toolchain. Findings follow, one
-// object per line, sorted by (file, line, column, analyzer) — the
-// order is deterministic regardless of package load order.
+// a changed tree from a changed toolchain, and carries each analyzer's
+// wall time so the artifact doubles as the suite's performance record
+// (tools/lintbudget gates the total against a committed baseline).
+// Findings follow, one object per line, sorted by (file, line, column,
+// analyzer) — the order is deterministic regardless of package load
+// order. The timings are the only nondeterministic bytes, and they
+// stay confined to this line so a findings diff can skip it.
 type jsonHeader struct {
 	Suite     string `json:"suite"`
 	Version   string `json:"version"`
 	Analyzers int    `json:"analyzers"`
+	// TimingsMS maps analyzer name → wall milliseconds spent across
+	// every package in this run; TotalMS is their sum.
+	TimingsMS map[string]float64 `json:"timings_ms,omitempty"`
+	TotalMS   float64            `json:"total_ms,omitempty"`
 }
 
 // jsonFinding is the one-line-per-diagnostic wire format of -json.
@@ -112,7 +120,7 @@ func run(out io.Writer, patterns []string, asJSON bool) int {
 	if pkgs == nil {
 		return 2
 	}
-	findings, err := analysis.RunAll(pkgs, analyzers.Suite)
+	findings, timings, err := analysis.RunAllTimed(pkgs, analyzers.Suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abftlint:", err)
 		return 2
@@ -120,10 +128,19 @@ func run(out io.Writer, patterns []string, asJSON bool) int {
 	active := 0
 	enc := json.NewEncoder(out)
 	if asJSON {
+		ms := make(map[string]float64, len(timings))
+		total := 0.0
+		for name, d := range timings {
+			v := float64(d.Microseconds()) / 1000
+			ms[name] = v
+			total += v
+		}
 		enc.Encode(jsonHeader{
 			Suite:     "abftlint",
 			Version:   analyzers.Version,
 			Analyzers: len(analyzers.Suite),
+			TimingsMS: ms,
+			TotalMS:   total,
 		})
 	}
 	for _, f := range findings {
@@ -152,14 +169,32 @@ func run(out io.Writer, patterns []string, asJSON bool) int {
 }
 
 // auditNolint lists every //nolint escape hatch in the packages and
-// fails when one carries no justification: an escape without a reason
-// is a silent hole in the invariant the suppressed analyzer guards.
+// fails when one carries no justification — an escape without a reason
+// is a silent hole in the invariant the suppressed analyzer guards —
+// or when one is stale: no analyzer reports anything on its line
+// anymore, so the directive outlived the violation it was written for
+// and should be deleted before it silences a future, different one.
 func auditNolint(out io.Writer, patterns []string) int {
 	pkgs := load(patterns)
 	if pkgs == nil {
 		return 2
 	}
-	unjustified := 0
+	findings, err := analysis.RunAll(pkgs, analyzers.Suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abftlint:", err)
+		return 2
+	}
+	// Which analyzers actually fired, per annotated line. A directive is
+	// live only if it suppresses at least one of them.
+	fired := map[string]map[string]bool{}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		if fired[key] == nil {
+			fired[key] = map[string]bool{}
+		}
+		fired[key][f.Analyzer.Name] = true
+	}
+	unjustified, stale := 0, 0
 	for _, d := range analysis.NolintDirectives(pkgs) {
 		scope := "suite"
 		if !d.All {
@@ -171,15 +206,36 @@ func auditNolint(out io.Writer, patterns []string) int {
 				scope += n
 			}
 		}
+		live := false
+		onLine := fired[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
+		if d.All {
+			live = len(onLine) > 0
+		} else {
+			for _, n := range d.Names {
+				if onLine[n] {
+					live = true
+					break
+				}
+			}
+		}
 		just := d.Justification
 		if just == "" {
 			just = "MISSING JUSTIFICATION"
 			unjustified++
 		}
+		if !live {
+			just = "STALE (no analyzer reports here anymore — delete the directive): " + just
+			stale++
+		}
 		fmt.Fprintf(out, "%s:%d: nolint(%s): %s\n", d.Pos.Filename, d.Pos.Line, scope, just)
 	}
 	if unjustified > 0 {
 		fmt.Fprintf(os.Stderr, "abftlint: %d //nolint directive(s) without justification\n", unjustified)
+	}
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "abftlint: %d stale //nolint directive(s)\n", stale)
+	}
+	if unjustified+stale > 0 {
 		return 1
 	}
 	return 0

@@ -63,6 +63,20 @@ func TestJSONOutput(t *testing.T) {
 	if hdr.Suite != "abftlint" || hdr.Version != analyzers.Version || hdr.Analyzers != len(analyzers.Suite) {
 		t.Fatalf("-json header = %+v, want suite abftlint version %s with %d analyzers", hdr, analyzers.Version, len(analyzers.Suite))
 	}
+	if len(hdr.TimingsMS) != len(analyzers.Suite) {
+		t.Fatalf("-json header timings cover %d analyzers, want every one of the %d", len(hdr.TimingsMS), len(analyzers.Suite))
+	}
+	sum := 0.0
+	for _, a := range analyzers.Suite {
+		ms, ok := hdr.TimingsMS[a.Name]
+		if !ok || ms < 0 {
+			t.Errorf("-json header timing for %s = %v ms (present %v), want a non-negative entry", a.Name, ms, ok)
+		}
+		sum += ms
+	}
+	if diff := hdr.TotalMS - sum; diff > 0.01 || diff < -0.01 {
+		t.Errorf("-json header total_ms = %v, want the per-analyzer sum %v", hdr.TotalMS, sum)
+	}
 	var prev *jsonFinding
 	for sc.Scan() {
 		line := sc.Text()
@@ -102,10 +116,12 @@ func findingLess(a, b *jsonFinding) bool {
 // TestDriverOnSeededBugs points the driver at a self-contained fixture
 // module carrying one seeded bug per guarded invariant — an unguarded
 // write to a guarded field (lockcheck), a leaked worker goroutine
-// (goleak), a map-range streamed into a JSON encoder (detorder), and a
-// driver whose TRSM checksum update went missing (chkflow) — and
-// asserts the end-to-end pipeline (loader, suite, driver formatting,
-// exit code) reports all of them.
+// (goleak), a map-range streamed into a JSON encoder (detorder), a
+// driver whose TRSM checksum update went missing (chkflow), a %v wrap
+// severing a sentinel chain (errflow), and a handler minting
+// context.Background() instead of inheriting the request context
+// (ctxcheck) — and asserts the end-to-end pipeline (loader, suite,
+// driver formatting, exit code) reports all of them.
 func TestDriverOnSeededBugs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the fixture module")
@@ -127,7 +143,7 @@ func TestDriverOnSeededBugs(t *testing.T) {
 		t.Fatalf("driver exited %d on the seeded-bug module, want 1; output:\n%s", code, sb.String())
 	}
 	out := sb.String()
-	for _, want := range []string{"[lockcheck]", "[goleak]", "[detorder]", "[chkflow]", "[hotpath]"} {
+	for _, want := range []string{"[lockcheck]", "[goleak]", "[detorder]", "[chkflow]", "[hotpath]", "[errflow]", "[ctxcheck]"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("driver output carries no %s finding on the seeded bug:\n%s", want, out)
 		}

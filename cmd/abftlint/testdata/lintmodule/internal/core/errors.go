@@ -1,0 +1,28 @@
+// Seeded errflow bug: the final-audit rejection sentinel exists, but
+// the wrap below uses %v, severing the chain — callers' errors.Is
+// tests silently stop matching.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrResultRejected is the final-audit rejection sentinel.
+var ErrResultRejected = errors.New("final result rejected")
+
+// finalCheck rejects a result the offline audit failed. The %v verb
+// is the seeded bug.
+func finalCheck(ok bool) error {
+	if ok {
+		return nil
+	}
+	return fmt.Errorf("core: final audit: %v", ErrResultRejected)
+}
+
+// Rejected is the predicate the severed chain above breaks.
+func Rejected(err error) bool {
+	return errors.Is(err, ErrResultRejected)
+}
+
+var _ = finalCheck

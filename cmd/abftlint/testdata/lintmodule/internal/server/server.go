@@ -1,0 +1,23 @@
+// Package server is a deliberately buggy miniature of the real
+// request plane: the handler below mints its own root context instead
+// of inheriting the request's — the seeded ctxcheck bug (a client
+// disconnect no longer cancels the work done on its behalf).
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// HandleRun starts a job for the request. The context.Background()
+// call is the seeded bug.
+func HandleRun(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background()
+	if err := runJob(ctx); err != nil {
+		http.Error(w, "job failed", http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func runJob(ctx context.Context) error { return ctx.Err() }

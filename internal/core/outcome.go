@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -39,6 +40,83 @@ func Uncorrectable(err error) bool {
 // an immediately detected, non-correctable abort.
 func FailStop(err error) bool {
 	return errors.Is(err, errFailStop)
+}
+
+// Wire codes for the outcome taxonomy. The abftd daemon stores and
+// serves job failures as these codes (JobInfo.ErrorCode) so remote
+// clients can reconstruct a typed error with ErrorFromCode instead of
+// matching message text; the spellings are part of the HTTP API and
+// must stay stable.
+const (
+	// CodeRejected is the final-audit rejection (ErrResultRejected).
+	CodeRejected = "result_rejected"
+	// CodeUncorrectable is detected-but-uncorrectable corruption.
+	CodeUncorrectable = "uncorrectable"
+	// CodeFailStop is the POTF2 positive-definiteness abort.
+	CodeFailStop = "fail_stop"
+	// CodeCanceled marks work stopped by cancellation (context.Canceled
+	// or the daemon's own cancel paths).
+	CodeCanceled = "canceled"
+	// CodeTimeout marks work stopped by a deadline
+	// (context.DeadlineExceeded or the daemon's job deadlines).
+	CodeTimeout = "timeout"
+)
+
+// OutcomeCode maps an error onto its wire code, or "" when no typed
+// predicate matches (an unclassified failure). Precedence mirrors
+// reliability.Classify: an uncorrectable verdict wrapping a fail-stop
+// cause codes as uncorrectable.
+func OutcomeCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case Rejected(err):
+		return CodeRejected
+	case Uncorrectable(err):
+		return CodeUncorrectable
+	case FailStop(err):
+		return CodeFailStop
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
+	}
+	return ""
+}
+
+// codedError is a reconstructed remote error: it renders the original
+// message byte-for-byte (campaign and job wire bodies must not change
+// under reconstruction) while unwrapping to the sentinel chain the
+// code names, so the typed predicates classify it like the original.
+type codedError struct {
+	msg   string
+	class error
+}
+
+func (e *codedError) Error() string { return e.msg }
+func (e *codedError) Unwrap() error { return e.class }
+
+// ErrorFromCode rebuilds a classified error from a wire code and the
+// original message. The result satisfies the same typed predicate the
+// original did (Rejected/Uncorrectable/FailStop, or errors.Is against
+// context.Canceled/DeadlineExceeded) and renders msg exactly.
+func ErrorFromCode(code, msg string) error {
+	if msg == "" && code == "" {
+		return nil
+	}
+	switch code {
+	case CodeRejected:
+		return &codedError{msg: msg, class: ErrResultRejected}
+	case CodeUncorrectable:
+		return &codedError{msg: msg, class: &errUncorrectable{Cause: errors.New(msg)}}
+	case CodeFailStop:
+		return &codedError{msg: msg, class: errFailStop}
+	case CodeCanceled:
+		return &codedError{msg: msg, class: context.Canceled}
+	case CodeTimeout:
+		return &codedError{msg: msg, class: context.DeadlineExceeded}
+	}
+	return errors.New(msg) //nolint:errflow // unknown or empty wire code: the caller accepts an unclassifiable reconstruction
 }
 
 // ParseScheme resolves the external spelling of a fault-tolerance

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// The partition property: the typed predicates split the constructor-
+// produced error space so that every classified chain matches exactly
+// one of Rejected/Uncorrectable/FailStop, at any %w wrap depth, and a
+// deliberately severed chain matches none. This is the runtime
+// countersignature of the errflow analyzer: errflow proves no code
+// path severs a chain, this test proves the predicates stay mutually
+// exclusive while chains survive.
+func TestPredicatesPartitionWrappedChains(t *testing.T) {
+	preds := []struct {
+		name string
+		fn   func(error) bool
+	}{
+		{"Rejected", Rejected},
+		{"Uncorrectable", Uncorrectable},
+		{"FailStop", FailStop},
+	}
+	// Production-shaped roots, each built the way the plane that owns
+	// it builds it. Causes inside errUncorrectable are deliberately
+	// unclassified here: a fail-stop cause under an uncorrectable
+	// verdict matches both predicates by design (exec's Unwrap exposes
+	// it), which is precedence, not partition, and is pinned by
+	// TestOutcomePredicates.
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"rejected", fmt.Errorf("core: online failed: %w", ErrResultRejected), "Rejected"},
+		{"uncorrectable", &errUncorrectable{BI: 3, BJ: 2, Cause: errors.New("inconsistent syndrome")}, "Uncorrectable"},
+		{"failstop", fmt.Errorf("%w: block 4: not positive definite", errFailStop), "FailStop"},
+		{"coded rejected", ErrorFromCode(CodeRejected, "remote: final result rejected"), "Rejected"},
+		{"coded uncorrectable", ErrorFromCode(CodeUncorrectable, "remote: block (1,1) corrupted"), "Uncorrectable"},
+		{"coded failstop", ErrorFromCode(CodeFailStop, "remote: POTF2 failed"), "FailStop"},
+	}
+	for _, tc := range cases {
+		err := tc.err
+		for depth := 0; depth <= 8; depth++ {
+			var matched []string
+			for _, p := range preds {
+				if p.fn(err) {
+					matched = append(matched, p.name)
+				}
+			}
+			if len(matched) != 1 || matched[0] != tc.want {
+				t.Fatalf("%s at wrap depth %d: matched %v, want exactly [%s]", tc.name, depth, matched, tc.want)
+			}
+			if got := OutcomeCode(err); got != OutcomeCode(tc.err) {
+				t.Fatalf("%s at wrap depth %d: OutcomeCode drifted to %q", tc.name, depth, got)
+			}
+			err = fmt.Errorf("layer %d: %w", depth, err)
+		}
+	}
+}
+
+// A severed chain — %v instead of %w anywhere in the stack — must
+// match no predicate and carry no code, at every severing depth.
+func TestSeveredChainMatchesNothing(t *testing.T) {
+	root := fmt.Errorf("core: online failed: %w", ErrResultRejected)
+	for severAt := 0; severAt < 4; severAt++ {
+		err := root
+		for depth := 0; depth < 4; depth++ {
+			if depth == severAt {
+				err = fmt.Errorf("layer %d: %v", depth, err) // severed on purpose
+			} else {
+				err = fmt.Errorf("layer %d: %w", depth, err)
+			}
+		}
+		if Rejected(err) || Uncorrectable(err) || FailStop(err) {
+			t.Fatalf("severed at %d: a predicate still matched %v", severAt, err)
+		}
+		if code := OutcomeCode(err); code != "" {
+			t.Fatalf("severed at %d: OutcomeCode = %q, want empty", severAt, code)
+		}
+	}
+}
+
+// ErrorFromCode must render the original message byte-for-byte (wire
+// bodies cannot change under reconstruction) and classify under the
+// context sentinels for the cancellation codes.
+func TestErrorFromCodeRoundTrip(t *testing.T) {
+	msgs := map[string]string{
+		CodeRejected:      "job j-000001 failed: final result rejected",
+		CodeUncorrectable: "core: block (0,1) corrupted beyond checksum correction: x",
+		CodeFailStop:      "core: POTF2 failed (matrix block not positive definite)",
+		CodeCanceled:      "canceled: daemon shut down before the job started",
+		CodeTimeout:       "timeout: job expired while queued",
+	}
+	for code, msg := range msgs {
+		err := ErrorFromCode(code, msg)
+		if err.Error() != msg {
+			t.Fatalf("code %s: message %q, want %q", code, err.Error(), msg)
+		}
+		if got := OutcomeCode(err); got != code {
+			t.Fatalf("code %s: round-tripped to %q", code, got)
+		}
+	}
+	if !errors.Is(ErrorFromCode(CodeCanceled, "canceled by client"), context.Canceled) {
+		t.Fatal("canceled code must satisfy errors.Is(err, context.Canceled)")
+	}
+	if !errors.Is(ErrorFromCode(CodeTimeout, "timeout"), context.DeadlineExceeded) {
+		t.Fatal("timeout code must satisfy errors.Is(err, context.DeadlineExceeded)")
+	}
+	if ErrorFromCode("", "") != nil {
+		t.Fatal("empty code and message must reconstruct nil")
+	}
+	if err := ErrorFromCode("someday_new_code", "future failure"); OutcomeCode(err) != "" || err.Error() != "future failure" {
+		t.Fatal("unknown code must fall back to an unclassified error with the exact message")
+	}
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ func quickConfig() Config {
 
 func runBytes(t *testing.T, cfg Config, workers int, journal string) []byte {
 	t.Helper()
-	r, err := Run(cfg, experiments.NewScheduler(workers, nil), RunOptions{JournalPath: journal})
+	r, err := Run(context.Background(), cfg, experiments.NewScheduler(workers, nil), RunOptions{JournalPath: journal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestJournalResumeByteIdentical(t *testing.T) {
 	}
 
 	metrics := obs.NewRegistry()
-	r, err := Run(cfg, experiments.NewScheduler(4, nil), RunOptions{JournalPath: interrupted, Metrics: metrics})
+	r, err := Run(context.Background(), cfg, experiments.NewScheduler(4, nil), RunOptions{JournalPath: interrupted, Metrics: metrics})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestJournalResumeByteIdentical(t *testing.T) {
 	// After the resume the journal must be complete: a third run
 	// executes nothing.
 	metrics2 := obs.NewRegistry()
-	if _, err := Run(cfg, experiments.NewScheduler(4, nil), RunOptions{JournalPath: interrupted, Metrics: metrics2}); err != nil {
+	if _, err := Run(context.Background(), cfg, experiments.NewScheduler(4, nil), RunOptions{JournalPath: interrupted, Metrics: metrics2}); err != nil {
 		t.Fatal(err)
 	}
 	if got := metrics2.Counter("campaign.shards.executed"); got != 0 {
@@ -193,7 +194,7 @@ func TestJournalRejectsForeignCampaign(t *testing.T) {
 
 	other := cfg
 	other.Seed = 999
-	if _, err := Run(other, experiments.NewScheduler(2, nil), RunOptions{JournalPath: path}); err == nil || !strings.Contains(err.Error(), "belongs to campaign") {
+	if _, err := Run(context.Background(), other, experiments.NewScheduler(2, nil), RunOptions{JournalPath: path}); err == nil || !strings.Contains(err.Error(), "belongs to campaign") {
 		t.Fatalf("foreign journal accepted: %v", err)
 	}
 }
@@ -214,7 +215,7 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(cfg, experiments.NewScheduler(2, nil), RunOptions{JournalPath: path}); err == nil || !strings.Contains(err.Error(), "corrupt") {
+	if _, err := Run(context.Background(), cfg, experiments.NewScheduler(2, nil), RunOptions{JournalPath: path}); err == nil || !strings.Contains(err.Error(), "corrupt") {
 		t.Fatalf("mid-file corruption accepted: %v", err)
 	}
 }
@@ -236,7 +237,7 @@ func TestJournalShardCountMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
-	if _, err := Run(cfg, experiments.NewScheduler(2, nil), RunOptions{JournalPath: path}); err == nil || !strings.Contains(err.Error(), "plan says") {
+	if _, err := Run(context.Background(), cfg, experiments.NewScheduler(2, nil), RunOptions{JournalPath: path}); err == nil || !strings.Contains(err.Error(), "plan says") {
 		t.Fatalf("undersized shard tally accepted: %v", err)
 	}
 }
@@ -291,10 +292,10 @@ func TestRunRejectsRemoteScheduler(t *testing.T) {
 	remote := experiments.NewRemoteScheduler(2, func(core.Options) (core.Result, error) {
 		return core.Result{}, nil
 	})
-	if _, err := Run(quickConfig(), remote, RunOptions{}); err == nil || !strings.Contains(err.Error(), "remote") {
+	if _, err := Run(context.Background(), quickConfig(), remote, RunOptions{}); err == nil || !strings.Contains(err.Error(), "remote") {
 		t.Fatalf("remote scheduler accepted: %v", err)
 	}
-	if _, err := Run(quickConfig(), nil, RunOptions{}); err == nil {
+	if _, err := Run(context.Background(), quickConfig(), nil, RunOptions{}); err == nil {
 		t.Fatal("nil scheduler accepted")
 	}
 }

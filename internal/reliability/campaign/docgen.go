@@ -12,6 +12,7 @@ package campaign
 //go:generate go run ../../../tools/reldoc
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -91,7 +92,7 @@ func DocSample() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	rep, err := Run(cfg, experiments.NewScheduler(1, nil), RunOptions{JournalPath: path})
+	rep, err := Run(context.Background(), cfg, experiments.NewScheduler(1, nil), RunOptions{JournalPath: path})
 	if err != nil {
 		return "", err
 	}

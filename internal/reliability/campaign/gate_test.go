@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"abftchol/internal/experiments"
@@ -39,7 +40,7 @@ func TestCampaignStatisticalGate(t *testing.T) {
 		ShardTrials:   175,
 		Seed:          20160523, // the paper's venue date, pinned
 	}
-	report, err := Run(cfg, experiments.NewScheduler(0, nil), RunOptions{})
+	report, err := Run(context.Background(), cfg, experiments.NewScheduler(0, nil), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 
 	"abftchol/internal/core"
@@ -37,17 +38,21 @@ func (o RunOptions) inc(name string, d int64) {
 // given scheduler and returns its aggregated report. Shards execute
 // in plan order; each shard's trials fan over the scheduler's worker
 // pool, each trial is classified, and the shard's tally is journaled
-// before the next shard starts. The returned report is a pure
-// function of cfg — independent of scheduling order, resume points,
-// and worker count.
-func Run(cfg Config, sched *experiments.Scheduler, opts RunOptions) (*Report, error) {
+// before the next shard starts. Cancellation is observed between
+// shards — a canceled run returns an error wrapping ctx.Err(), and
+// whatever the journal checkpointed resumes on the next Run. The
+// returned report is a pure function of cfg — independent of
+// scheduling order, resume points, and worker count.
+func Run(ctx context.Context, cfg Config, sched *experiments.Scheduler, opts RunOptions) (*Report, error) {
 	if sched == nil {
 		return nil, fmt.Errorf("campaign: nil scheduler")
 	}
 	if sched.Remote() {
-		// Remote execution flattens typed errors to strings, which
-		// classification depends on; campaigns run server-side
-		// instead (the abftd campaign job kind).
+		// Classified error codes survive the wire now (JobInfo.ErrorCode
+		// reconstructs the typed chain client-side), but a campaign's
+		// trials still run server-side as one job kind: shipping ~10⁴
+		// individual trial jobs over HTTP would swamp the admission
+		// queue, and the shard journal could not checkpoint them.
 		return nil, fmt.Errorf("campaign: cannot classify trials through a remote scheduler; submit a campaign job to the daemon instead")
 	}
 	plan, err := NewPlan(cfg)
@@ -78,6 +83,12 @@ func Run(cfg Config, sched *experiments.Scheduler, opts RunOptions) (*Report, er
 	perCell := map[int]Counts{}
 	resumed := 0
 	for _, sh := range plan.Shards {
+		// Re-check cancellation at every shard boundary: a daemon
+		// shutdown (or a canceled CLI run) stops after the in-flight
+		// shard, and the journal keeps what completed.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("campaign %.12s: canceled at a shard boundary: %w", fp, err)
+		}
 		cell := plan.Cells[sh.Cell]
 		if counts, ok := done[ShardKey{sh.Cell, sh.Index}]; ok {
 			if got, want := counts.Total(), sh.Hi-sh.Lo; got != want {

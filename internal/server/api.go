@@ -227,6 +227,8 @@ func RequestFromOptions(o core.Options) (JobRequest, error) {
 // queued → running → done/failed, with canceled reachable from queued
 // (a running factorization is not preemptible) and failed also
 // reachable directly from queued when the deadline expires first.
+// Campaigns skip queued (running at submission) and reach canceled
+// when a shutdown deadline interrupts them at a shard boundary.
 type State string
 
 // The job states, as they appear in every response body.
@@ -260,8 +262,12 @@ type JobInfo struct {
 	// performed the factorization, false when an identical earlier (or
 	// concurrent) submission or the on-disk cache served it.
 	Executed *bool `json:"executed,omitempty"`
-	// Error carries the failure or cancellation reason.
-	Error string `json:"error,omitempty"`
+	// Error carries the failure or cancellation reason as rendered
+	// text; ErrorCode carries its classification (see JobErrorCodes).
+	// Clients reconstruct a typed error from the pair with
+	// core.ErrorFromCode rather than matching message text.
+	Error     string `json:"error,omitempty"`
+	ErrorCode string `json:"error_code,omitempty"`
 }
 
 // JobList is the body of GET /v1/jobs.
@@ -280,7 +286,9 @@ type CampaignInfo struct {
 	Attached    int             `json:"attached"`
 	SubmittedAt time.Time       `json:"submitted_at"`
 	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
-	Error       string          `json:"error,omitempty"`
+	// Error and ErrorCode mirror JobInfo's pair (see JobErrorCodes).
+	Error     string `json:"error,omitempty"`
+	ErrorCode string `json:"error_code,omitempty"`
 }
 
 // JobResult is the body of GET /v1/jobs/{id}/result.
@@ -337,4 +345,31 @@ var ErrorCodes = []ErrorCode{
 	{"rate_limited", 429, "this client exhausted its token bucket; retry after the Retry-After header's seconds"},
 	{"queue_full", 429, "the bounded job queue is at capacity; retry after the Retry-After header's seconds"},
 	{"draining", 503, "the daemon is shutting down and no longer accepts submissions"},
+}
+
+// CodeInternalError is the job error code for daemon-side failures
+// outside the outcome taxonomy (e.g. a metrics snapshot that failed to
+// encode). It reconstructs to an unclassified error client-side.
+const CodeInternalError = "internal"
+
+// JobErrorCode documents one job-level error code for docs/SERVICE.md.
+type JobErrorCode struct {
+	Code    string
+	Meaning string
+}
+
+// JobErrorCodes is the closed set of values JobInfo.ErrorCode and
+// CampaignInfo.ErrorCode can carry — the classification of *job
+// outcomes*, distinct from the HTTP envelope codes above. The first
+// five are core's wire codes, so core.ErrorFromCode rebuilds an error
+// that satisfies the same typed predicate the daemon-side error did;
+// docs/SERVICE.md renders this table and a drift test pins the two
+// together.
+var JobErrorCodes = []JobErrorCode{
+	{core.CodeRejected, "the factorization finished but the offline audit rejected the result (core.Rejected matches)"},
+	{core.CodeUncorrectable, "corruption was detected but exceeded the checksum code's correction capability (core.Uncorrectable matches)"},
+	{core.CodeFailStop, "a diagonal block lost positive definiteness — the POTF2 fail-stop abort (core.FailStop matches)"},
+	{core.CodeCanceled, "the job was canceled — by the client while queued, or by the daemon when a shutdown deadline expired first"},
+	{core.CodeTimeout, "the job exceeded its deadline, while queued or while running"},
+	{CodeInternalError, "a daemon-side failure outside the outcome taxonomy; the error text carries the detail"},
 }

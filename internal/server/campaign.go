@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -31,7 +33,7 @@ type campaignJob struct {
 	cfg campaign.Config // normalized
 
 	state     State
-	errMsg    string
+	err       error // terminal cause; classified via ErrorCodeOf
 	submitted time.Time
 	finished  time.Time
 	attached  int // follower submissions deduped onto this campaign
@@ -50,7 +52,7 @@ func (s *Server) newCampaign(cfg campaign.Config, fp string) (cj *campaignJob, l
 		s.mu.Unlock()
 		return nil, false, false
 	}
-	if existing, dup := s.campaignsByFP[fp]; dup && existing.state != StateFailed {
+	if existing, dup := s.campaignsByFP[fp]; dup && existing.state != StateFailed && existing.state != StateCanceled {
 		existing.attached++
 		s.mu.Unlock()
 		return existing, false, true
@@ -71,7 +73,7 @@ func (s *Server) newCampaign(cfg campaign.Config, fp string) (cj *campaignJob, l
 	// handlers (httpSrv.Shutdown) before it reaches execWG.Wait, so the
 	// Add of an accepted campaign always precedes the Wait.
 	s.execWG.Add(1)
-	go s.execCampaign(cj)
+	go s.execCampaign(s.execCtx, cj)
 	return cj, true, true
 }
 
@@ -84,12 +86,15 @@ func newCampaignID(seq int) string {
 // ten thousand trial fingerprints do not flood the shared scheduler's
 // memoization map or the on-disk cache — and publishes the canonical
 // report bytes. Campaign metrics record into a private registry and
-// merge into the global one, mirroring execJob.
-func (s *Server) execCampaign(cj *campaignJob) {
+// merge into the global one, mirroring execJob. ctx is the daemon's
+// execCtx: a shutdown deadline cancels it, campaign.Run stops at the
+// next shard boundary, and the campaign lands in the canceled state
+// (the journal, when configured, keeps completed shards).
+func (s *Server) execCampaign(ctx context.Context, cj *campaignJob) {
 	defer s.execWG.Done()
 	sink := obs.NewRegistry()
 	sched := experiments.NewScheduler(s.cfg.Workers, nil)
-	report, err := campaign.Run(cj.cfg, sched, campaign.RunOptions{Metrics: sink})
+	report, err := campaign.Run(ctx, cj.cfg, sched, campaign.RunOptions{Metrics: sink})
 	var data []byte
 	if err == nil {
 		data, err = report.Marshal()
@@ -99,10 +104,14 @@ func (s *Server) execCampaign(cj *campaignJob) {
 	now := s.cfg.Clock.Now()
 	s.mu.Lock()
 	cj.finished = now
-	if err != nil {
+	switch {
+	case errors.Is(err, context.Canceled):
+		cj.state = StateCanceled
+		cj.err = fmt.Errorf("%w: %w", errCanceled, err)
+	case err != nil:
 		cj.state = StateFailed
-		cj.errMsg = err.Error()
-	} else {
+		cj.err = err
+	default:
 		cj.state = StateDone
 		cj.report = data
 	}
@@ -121,7 +130,8 @@ func (s *Server) campaignInfoLocked(cj *campaignJob) CampaignInfo {
 		Config:      cj.cfg,
 		Attached:    cj.attached,
 		SubmittedAt: cj.submitted,
-		Error:       cj.errMsg,
+		Error:       errorText(cj.err),
+		ErrorCode:   ErrorCodeOf(cj.err),
 	}
 	if !cj.finished.IsZero() {
 		t := cj.finished
@@ -241,11 +251,13 @@ func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	state, errMsg, report := cj.state, cj.errMsg, cj.report
+	state, errMsg, report := cj.state, errorText(cj.err), cj.report
 	s.mu.Unlock()
 	switch {
 	case state == StateFailed:
 		failJSON(w, http.StatusConflict, "job_failed", "campaign %s failed: %s", cj.id, errMsg)
+	case state == StateCanceled:
+		failJSON(w, http.StatusConflict, "job_failed", "campaign %s was canceled: %s", cj.id, errMsg)
 	case state != StateDone:
 		failJSON(w, http.StatusConflict, "not_finished", "campaign %s is %s; the report needs state done", cj.id, state)
 	default:

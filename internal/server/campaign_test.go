@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func testCampaignConfig() campaign.Config {
 func TestCampaignDifferentialLocalVsHTTP(t *testing.T) {
 	cfg := testCampaignConfig()
 
-	serialReport, err := campaign.Run(cfg, experiments.NewScheduler(1, nil), campaign.RunOptions{})
+	serialReport, err := campaign.Run(context.Background(), cfg, experiments.NewScheduler(1, nil), campaign.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestCampaignDifferentialLocalVsHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallelReport, err := campaign.Run(cfg, experiments.NewScheduler(8, nil), campaign.RunOptions{})
+	parallelReport, err := campaign.Run(context.Background(), cfg, experiments.NewScheduler(8, nil), campaign.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

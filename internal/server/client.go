@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,6 +26,18 @@ type Client struct {
 	// Name, when set, is sent as the X-Client header — the daemon's
 	// rate-limit key.
 	Name string
+	// Ctx, when set, scopes every request this client issues —
+	// canceling it aborts in-flight exchanges and long-polls. Nil means
+	// context.Background(): the client is a root caller (a CLI), not
+	// itself on a request path.
+	Ctx context.Context
+}
+
+func (c *Client) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -45,7 +58,7 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 		}
 		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.Base+path, rd)
+	req, err := http.NewRequestWithContext(c.context(), method, c.Base+path, rd)
 	if err != nil {
 		return fmt.Errorf("server client: %w", err)
 	}
@@ -135,7 +148,7 @@ func (c *Client) Health() (Health, error) {
 
 // raw fetches a non-envelope body (snapshots, traces).
 func (c *Client) raw(path string) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, c.Base+path, nil)
+	req, err := http.NewRequestWithContext(c.context(), http.MethodGet, c.Base+path, nil)
 	if err != nil {
 		return nil, fmt.Errorf("server client: %w", err)
 	}
@@ -200,7 +213,12 @@ func (c *Client) RunCampaign(cfg campaign.Config) ([]byte, error) {
 		return nil, fmt.Errorf("wait campaign %s: %w", info.ID, err)
 	}
 	if info.State != StateDone {
-		return nil, fmt.Errorf("campaign %s: %s", info.ID, info.Error)
+		// Rebuild the classified chain the daemon stored, so a caller's
+		// errors.Is(err, context.Canceled) works across the wire.
+		if cause := core.ErrorFromCode(info.ErrorCode, info.Error); cause != nil {
+			return nil, fmt.Errorf("campaign %s: %w", info.ID, cause)
+		}
+		return nil, fmt.Errorf("campaign %s ended %s", info.ID, info.State)
 	}
 	return c.CampaignReport(info.ID)
 }
@@ -224,7 +242,14 @@ func (c *Client) RunPoint(o core.Options) (core.Result, error) {
 		return core.Result{}, fmt.Errorf("wait %s: %w", info.ID, err)
 	}
 	if info.State != StateDone {
-		return core.Result{}, fmt.Errorf("%s", info.Error)
+		// ErrorFromCode rebuilds an error satisfying the same typed
+		// predicate the daemon-side failure did, while rendering the
+		// wire text byte-for-byte — reliability.Classify sees a remote
+		// trial exactly as it would a local one.
+		if cause := core.ErrorFromCode(info.ErrorCode, info.Error); cause != nil {
+			return core.Result{}, cause
+		}
+		return core.Result{}, fmt.Errorf("job %s ended %s", info.ID, info.State)
 	}
 	res, err := c.Result(info.ID)
 	if err != nil {

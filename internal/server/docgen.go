@@ -29,6 +29,8 @@ const (
 	EndpointsEnd   = "<!-- END GENERATED ENDPOINT TABLE -->"
 	ErrorsBegin    = "<!-- BEGIN GENERATED ERROR TABLE (go generate ./internal/server) -->"
 	ErrorsEnd      = "<!-- END GENERATED ERROR TABLE -->"
+	JobErrorsBegin = "<!-- BEGIN GENERATED JOB ERROR CODE TABLE (go generate ./internal/server) -->"
+	JobErrorsEnd   = "<!-- END GENERATED JOB ERROR CODE TABLE -->"
 	SessionBegin   = "<!-- BEGIN GENERATED SESSION (go generate ./internal/server) -->"
 	SessionEnd     = "<!-- END GENERATED SESSION -->"
 )
@@ -49,6 +51,17 @@ func ErrorsTable() string {
 	b.WriteString("| Code | HTTP status | Meaning |\n|---|---|---|\n")
 	for _, e := range ErrorCodes {
 		fmt.Fprintf(&b, "| `%s` | %d | %s |\n", e.Code, e.Status, e.Meaning)
+	}
+	return b.String()
+}
+
+// JobErrorsTable renders the closed job-outcome code set as a
+// markdown table.
+func JobErrorsTable() string {
+	var b strings.Builder
+	b.WriteString("| Code | Meaning |\n|---|---|\n")
+	for _, e := range JobErrorCodes {
+		fmt.Fprintf(&b, "| `%s` | %s |\n", e.Code, e.Meaning)
 	}
 	return b.String()
 }

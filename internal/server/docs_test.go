@@ -28,6 +28,7 @@ func TestServiceDocCurrent(t *testing.T) {
 	}{
 		{"endpoint table", EndpointsBegin, EndpointsEnd, EndpointsTable()},
 		{"error table", ErrorsBegin, ErrorsEnd, ErrorsTable()},
+		{"job error code table", JobErrorsBegin, JobErrorsEnd, JobErrorsTable()},
 		{"session", SessionBegin, SessionEnd, session},
 	} {
 		want := sec.begin + "\n" + sec.body + sec.end

@@ -240,7 +240,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.state = StateCanceled
-	j.errMsg = "canceled by client"
+	j.err = fmt.Errorf("%w by client", errCanceled)
 	j.finished = now
 	s.broadcastLocked(j)
 	info := s.infoLocked(j)
@@ -298,7 +298,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	state := j.state
 	executed := j.executed
 	res := j.result
-	errMsg := j.errMsg
+	errMsg := errorText(j.err)
 	s.mu.Unlock()
 	switch {
 	case state == StateDone:
@@ -321,7 +321,7 @@ func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	snap := j.metrics
 	state := j.state
-	errMsg := j.errMsg
+	errMsg := errorText(j.err)
 	s.mu.Unlock()
 	switch {
 	case snap != nil:

@@ -19,6 +19,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -69,6 +70,47 @@ type Config struct {
 	MetricsPath string
 }
 
+// errCanceled and errTimeout root the daemon's own terminal reasons.
+// Every cancellation or deadline failure the request plane produces
+// wraps one of these with %w, so the stored cause stays a classified
+// chain (ErrorCodeOf maps it onto a wire code) while the rendered
+// message keeps its historical spelling. They are deliberately fresh
+// sentinels, not wrappers around context.Canceled/DeadlineExceeded:
+// daemon-initiated cancellation is a policy decision, not a context
+// tree collapsing, and the two must stay distinguishable in tests.
+var (
+	errCanceled = errors.New("canceled")
+	errTimeout  = errors.New("timeout")
+)
+
+// errorText renders a job's stored cause for wire bodies; a nil error
+// is the empty string (the job has not failed).
+func errorText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// ErrorCodeOf maps a job's stored cause onto its wire code: the
+// daemon's own sentinels first (canceled/timeout), then the core
+// outcome taxonomy, then "internal" for anything unclassified. Nil
+// maps to "" (no failure).
+func ErrorCodeOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, errCanceled):
+		return core.CodeCanceled
+	case errors.Is(err, errTimeout):
+		return core.CodeTimeout
+	}
+	if code := core.OutcomeCode(err); code != "" {
+		return code
+	}
+	return CodeInternalError
+}
+
 // stateEvent is one lifecycle transition, kept per job for the SSE
 // stream.
 type stateEvent struct {
@@ -88,7 +130,7 @@ type job struct {
 	opts core.Options
 
 	state     State
-	errMsg    string
+	err       error // terminal cause; classified via ErrorCodeOf
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -116,6 +158,13 @@ type Server struct {
 
 	workerWG sync.WaitGroup // the fixed worker pool
 	execWG   sync.WaitGroup // in-flight factorizations (may outlive their worker on timeout)
+
+	// execCtx scopes daemon-owned executions that can observe
+	// cancellation mid-flight (campaign shard loops); cancelExec fires
+	// when a shutdown deadline expires. Factorizations are not
+	// preemptible and ignore it.
+	execCtx    context.Context
+	cancelExec context.CancelFunc
 
 	mu            sync.Mutex // guards: jobs, seq, campaigns, campaignsByFP, cseq, draining
 	jobs          map[string]*job
@@ -151,6 +200,9 @@ func New(cfg Config) (*Server, error) {
 		campaigns:     make(map[string]*campaignJob),
 		campaignsByFP: make(map[string]*campaignJob),
 	}
+	// Background is correct here: New is the root of the daemon's
+	// lifetime, not a request path; Shutdown owns the cancel.
+	s.execCtx, s.cancelExec = context.WithCancel(context.Background())
 	if cfg.RatePerSec > 0 {
 		s.limiter = newRateLimiter(cfg.RatePerSec, float64(cfg.RateBurst), cfg.Clock.Now)
 	}
@@ -221,12 +273,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-finished:
 	case <-ctx.Done():
-		s.cancelQueued("canceled: daemon shutdown deadline expired before the job started")
-		<-finished
+		// Deadline expired: stop campaign shard loops at their next
+		// boundary, cancel still-queued jobs, then join what remains.
+		s.cancelExec()
+		s.cancelQueued(fmt.Errorf("%w: daemon shutdown deadline expired before the job started", errCanceled))
+		<-finished //nolint:ctxcheck // execWG converges: factorizations always terminate and canceled campaigns stop at the next shard boundary
 	}
+	s.cancelExec()
 	// Anything still queued lost the submit/drain race and will never
 	// be picked up; give it a terminal state so watchers unblock.
-	s.cancelQueued("canceled: daemon shut down before the job started")
+	s.cancelQueued(fmt.Errorf("%w: daemon shut down before the job started", errCanceled))
 
 	if s.cfg.MetricsPath != "" {
 		snap, err := s.reg.Snapshot()
@@ -276,7 +332,7 @@ func (s *Server) process(j *job) {
 	if s.cfg.JobTimeout > 0 {
 		deadline = j.submitted.Add(s.cfg.JobTimeout)
 		if !now.Before(deadline) {
-			s.fail(j, StateQueued, "timeout: job expired while queued")
+			s.fail(j, StateQueued, fmt.Errorf("%w: job expired while queued", errTimeout))
 			return
 		}
 	}
@@ -292,7 +348,7 @@ func (s *Server) process(j *job) {
 	select {
 	case <-j.execDone:
 	case <-s.cfg.Clock.After(deadline.Sub(now)):
-		s.fail(j, StateRunning, fmt.Sprintf("timeout: exceeded the %s job deadline", s.cfg.JobTimeout))
+		s.fail(j, StateRunning, fmt.Errorf("%w: exceeded the %s job deadline", errTimeout, s.cfg.JobTimeout))
 	}
 }
 
@@ -324,10 +380,13 @@ func (s *Server) execJob(j *job) {
 		switch {
 		case snapErr != nil:
 			j.state = StateFailed
-			j.errMsg = fmt.Sprintf("metrics snapshot: %v", snapErr)
+			j.err = fmt.Errorf("metrics snapshot: %w", snapErr)
 		case pr.Err != nil:
+			// Stored as the error itself, not its rendered text, so the
+			// core taxonomy predicates still classify it (ErrorCodeOf
+			// derives the wire code at serving time).
 			j.state = StateFailed
-			j.errMsg = pr.Err.Error()
+			j.err = pr.Err
 		default:
 			j.state = StateDone
 		}
@@ -364,10 +423,10 @@ func (s *Server) claimRunning(j *job, now time.Time) bool {
 	return true
 }
 
-// fail moves a job from the given state to failed with the reason;
+// fail moves a job from the given state to failed with the cause;
 // a job already past that state is left alone (e.g. the execution
 // finished in the instant the deadline fired).
-func (s *Server) fail(j *job, from State, reason string) {
+func (s *Server) fail(j *job, from State, cause error) {
 	now := s.cfg.Clock.Now()
 	s.mu.Lock()
 	if j.state != from {
@@ -375,7 +434,7 @@ func (s *Server) fail(j *job, from State, reason string) {
 		return
 	}
 	j.state = StateFailed
-	j.errMsg = reason
+	j.err = cause
 	j.finished = now
 	s.broadcastLocked(j)
 	s.mu.Unlock()
@@ -384,14 +443,14 @@ func (s *Server) fail(j *job, from State, reason string) {
 
 // cancelQueued cancels every still-queued job (the shutdown-deadline
 // path).
-func (s *Server) cancelQueued(reason string) {
+func (s *Server) cancelQueued(cause error) {
 	now := s.cfg.Clock.Now()
 	var n int64
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		if j.state == StateQueued {
 			j.state = StateCanceled
-			j.errMsg = reason
+			j.err = cause
 			j.finished = now
 			s.broadcastLocked(j)
 			n++
@@ -410,7 +469,7 @@ func (s *Server) broadcastLocked(j *job) {
 	if j.state.Terminal() {
 		t = j.finished
 	}
-	j.history = append(j.history, stateEvent{State: j.state, Time: t, Error: j.errMsg})
+	j.history = append(j.history, stateEvent{State: j.state, Time: t, Error: errorText(j.err)})
 	close(j.changed)
 	j.changed = make(chan struct{})
 }
@@ -425,7 +484,8 @@ func (s *Server) infoLocked(j *job) JobInfo {
 		Machine:     j.req.Machine,
 		N:           j.opts.N,
 		SubmittedAt: j.submitted,
-		Error:       j.errMsg,
+		Error:       errorText(j.err),
+		ErrorCode:   ErrorCodeOf(j.err),
 	}
 	if info.Machine == "" && j.req.Profile != nil {
 		info.Machine = j.req.Profile.Name

@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one post-attribution diagnostic, positioned and filtered.
@@ -45,7 +46,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 // returned, with Suppressed set on the ones a //nolint directive
 // silences.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunAllTimed(pkgs, analyzers)
+	return findings, err
+}
+
+// RunAllTimed is RunAll plus accounting: the second result maps each
+// analyzer's name to the wall time its Run spent, summed over every
+// package it applied to. The driver's -json header publishes the map
+// and tools/lintbudget gates the total against a committed baseline,
+// so an analyzer whose cost quietly explodes fails CI instead of
+// taxing every future `make lint`.
+func RunAllTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, map[string]time.Duration, error) {
 	var findings []Finding
+	elapsed := make(map[string]time.Duration, len(analyzers))
+	for _, a := range analyzers {
+		elapsed[a.Name] = 0
+	}
 	for _, pkg := range pkgs {
 		suppressed := nolintLines(pkg)
 		for _, a := range analyzers {
@@ -60,8 +76,11 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Pkg:        pkg.Types,
 				TypesInfo:  pkg.TypesInfo,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 			for _, d := range pass.diagnostics {
 				pos := pkg.Fset.Position(d.Pos)
@@ -87,7 +106,7 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer.Name < b.Analyzer.Name
 	})
-	return findings, nil
+	return findings, elapsed, nil
 }
 
 type lineKey struct {
@@ -146,6 +165,12 @@ func NolintDirectives(pkgs []*Package) []NolintDirective {
 					text = strings.TrimSpace(text)
 					rest, ok := strings.CutPrefix(text, "nolint")
 					if !ok {
+						continue
+					}
+					// The word must end here: "nolint", "nolint:…", or
+					// "nolint — reason". An identifier that merely starts
+					// with the letters (nolintLines) is not a directive.
+					if rest != "" && rest[0] != ':' && rest[0] != ' ' && rest[0] != '\t' {
 						continue
 					}
 					d := NolintDirective{Pos: pkg.Fset.Position(c.Slash)}

@@ -1,0 +1,22 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/ctxcheck"
+)
+
+// TestCtxcheck exercises the five rules — including the zero-trip
+// dominance negative and the //nolint escape — under the server's
+// import path so the scope applies.
+func TestCtxcheck(t *testing.T) {
+	analysistest.Run(t, ctxcheck.Analyzer, "testdata/src/ctxchecktest",
+		analysistest.ImportAs("abftchol/internal/server"))
+}
+
+// TestCtxcheckScope loads the same violations under an import path
+// outside the serving plane; no diagnostics may fire.
+func TestCtxcheckScope(t *testing.T) {
+	analysistest.Run(t, ctxcheck.Analyzer, "testdata/src/unscoped")
+}

@@ -1,0 +1,23 @@
+// Package unscoped holds cancellation violations that would fire
+// inside the serving plane; loaded under its literal testdata path,
+// the analyzer's AppliesTo must keep it silent.
+package unscoped
+
+import (
+	"context"
+	"net/http"
+)
+
+func handlerBackground(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background()
+	_ = ctx
+	_ = w
+}
+
+func bareRecv(ctx context.Context, ch chan int) int {
+	return <-ch
+}
+
+func buildRequest(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil)
+}

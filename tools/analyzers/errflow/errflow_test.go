@@ -1,0 +1,31 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"abftchol/tools/analyzers/analysistest"
+	"abftchol/tools/analyzers/errflow"
+)
+
+// TestErrflow exercises the severing/text-matching/non-sentinel rules
+// against the real core sentinel chains, loaded under the server's
+// import path so the scope applies.
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, errflow.Analyzer, "testdata/src/errflowtest",
+		analysistest.ImportAs("abftchol/internal/server"))
+}
+
+// TestErrflowCoreAPI loads a package under internal/core's import path
+// so the unclassifiable-escape rule (exported API must stay matchable
+// by the typed predicates) applies to it.
+func TestErrflowCoreAPI(t *testing.T) {
+	analysistest.Run(t, errflow.Analyzer, "testdata/src/coreapi",
+		analysistest.ImportAs("abftchol/internal/core"))
+}
+
+// TestErrflowScope loads the same text-matching violations under an
+// import path outside the reliability/serving plane; no diagnostics
+// may fire.
+func TestErrflowScope(t *testing.T) {
+	analysistest.Run(t, errflow.Analyzer, "testdata/src/unscoped")
+}

@@ -1,0 +1,63 @@
+// Package coreapi models internal/core's exported API surface. It is
+// loaded under abftchol/internal/core so errflow's
+// unclassifiable-escape rule applies: an exported function whose
+// summary can carry a classified sentinel must not return a fresh
+// errors.New leaf. The package defines its own sentinel mirror —
+// errflow keys sentinels by import path and name, so it behaves
+// exactly like the real one.
+package coreapi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrResultRejected mirrors core's verification sentinel.
+var ErrResultRejected = errors.New("result rejected by checksum verification")
+
+// Verify can carry the sentinel (classified May summary) yet returns
+// a bare leaf on the skip path: no typed predicate matches it, so a
+// downstream classifier would misfile the outcome.
+func Verify(ok, ran bool) error {
+	if ran && !ok {
+		return fmt.Errorf("verify step: %w", ErrResultRejected)
+	}
+	if !ran {
+		return errors.New("verification skipped") // want "Verify can carry a classified sentinel yet returns a fresh errors\\.New leaf"
+	}
+	return nil
+}
+
+// Plain has no classified provenance; fresh leaves are fine.
+func Plain(bad bool) error {
+	if bad {
+		return errors.New("no classified chain in this function")
+	}
+	return nil
+}
+
+// Reconstruct mirrors core.ErrorFromCode's sanctioned fallback: the
+// unknown-code branch deliberately reconstructs an unclassifiable
+// error, escaped with a justified //nolint.
+func Reconstruct(code, msg string) error {
+	if code == "result_rejected" {
+		return fmt.Errorf("%w: %s", ErrResultRejected, msg)
+	}
+	return errors.New(msg) //nolint:errflow // unknown wire code: the caller accepts an unclassifiable reconstruction
+}
+
+// helper is unexported; the escape rule covers only the exported API.
+func helper(ok bool) error {
+	if !ok {
+		return fmt.Errorf("helper: %w", ErrResultRejected)
+	}
+	return errors.New("helper skipped")
+}
+
+// UsesHelper keeps helper referenced and wraps correctly.
+func UsesHelper(ok bool) error {
+	if err := helper(ok); err != nil {
+		return fmt.Errorf("outer: %w", err)
+	}
+	return nil
+}

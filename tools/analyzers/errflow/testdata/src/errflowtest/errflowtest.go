@@ -1,0 +1,136 @@
+// Package errflowtest exercises errflow against the real core
+// sentinel chains: severed %w wraps, error-text matching, classified
+// chains flattened to text, and errors.Is against non-sentinels. The
+// package is loaded under abftchol/internal/server, inside the
+// analyzer's scope.
+package errflowtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"abftchol/internal/core"
+	"abftchol/internal/experiments"
+)
+
+// produce roots a classified chain; its May summary carries
+// core.ErrResultRejected into every caller below.
+func produce() error {
+	return fmt.Errorf("step (2,3): %w", core.ErrResultRejected)
+}
+
+// severDirect severs a chain rooted right in the argument.
+func severDirect() error {
+	return fmt.Errorf("rejected: %v", core.ErrResultRejected) // want "fmt\\.Errorf without %w severs a classified error chain \\(core\\.ErrResultRejected\\)"
+}
+
+// severViaSummary severs a chain that arrives through a package-local
+// callee's May summary and a local variable.
+func severViaSummary() error {
+	err := produce()
+	return fmt.Errorf("campaign trial: %v", err) // want "fmt\\.Errorf without %w severs a classified error chain \\(core\\.ErrResultRejected\\)"
+}
+
+// wrapKeepsChain is the fix shape: %w preserves the sentinel.
+func wrapKeepsChain(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("canceled while queued: %w", err)
+	}
+	return nil
+}
+
+// compareText matches on rendered text instead of the chain.
+func compareText(err error) bool {
+	return err.Error() == "context canceled" // want "comparing error text with =="
+}
+
+// switchText switches on rendered text.
+func switchText(err error) int {
+	switch err.Error() { // want "switching on error text"
+	case "fail-stop":
+		return 1
+	}
+	return 0
+}
+
+// containsText greps rendered text.
+func containsText(err error) bool {
+	return strings.Contains(err.Error(), "rejected") // want "matching on error text with strings\\.Contains"
+}
+
+// job mirrors the daemon's store; errMsg is where classified chains
+// used to be flattened.
+type job struct {
+	errMsg string
+}
+
+// flattenStore loses the class exactly the way the daemon's job store
+// did before the error-code refactor.
+func flattenStore(j *job) {
+	if err := produce(); err != nil {
+		j.errMsg = err.Error() // want "\\.Error\\(\\) flattens a classified error chain \\(core\\.ErrResultRejected\\)"
+	}
+}
+
+// flattenCtx flattens a context chain.
+func flattenCtx(ctx context.Context) string {
+	err := ctx.Err()
+	if err == nil {
+		return ""
+	}
+	return err.Error() // want "\\.Error\\(\\) flattens a classified error chain \\(context\\.Canceled/DeadlineExceeded\\)"
+}
+
+// flattenPointResult flattens the scheduler's run error (curated
+// cross-package provenance: experiments.PointResult.Err).
+func flattenPointResult(res experiments.PointResult) string {
+	if res.Err != nil {
+		return res.Err.Error() // want "\\.Error\\(\\) flattens a classified error chain \\(a classified run error\\)"
+	}
+	return ""
+}
+
+// loopTaint documents the zero-trip semantics: provenance is May and
+// flow-insensitive, so a sentinel acquired only inside a possibly
+// zero-trip loop still taints the variable after it.
+func loopTaint(n int) string {
+	var err error
+	for i := 0; i < n; i++ {
+		err = fmt.Errorf("trial %d: %w", i, core.ErrResultRejected)
+	}
+	if err != nil {
+		return err.Error() // want "\\.Error\\(\\) flattens a classified error chain \\(core\\.ErrResultRejected\\)"
+	}
+	return ""
+}
+
+// plainFlatten has no classified provenance; flattening it is fine.
+func plainFlatten() string {
+	err := errors.New("config: missing scheme")
+	return err.Error()
+}
+
+// isNonSentinel compares against a function-local error value; Is
+// matches by identity, so this can never be true for a wrapped chain.
+func isNonSentinel(err error) bool {
+	target := errors.New("ephemeral")
+	return errors.Is(err, target) // want "errors\\.Is against a non-sentinel value"
+}
+
+// isFresh compares against a freshly constructed error.
+func isFresh(err error) bool {
+	return errors.Is(err, errors.New("fresh")) // want "errors\\.Is against a non-sentinel value"
+}
+
+// isSentinel is the sanctioned shape: a package-level sentinel.
+func isSentinel(err error) bool {
+	return errors.Is(err, core.ErrResultRejected)
+}
+
+// suppressed exercises the //nolint escape: the finding exists but the
+// driver filters it, so no want comment appears here.
+func suppressed(err error) bool {
+	return strings.Contains(err.Error(), "oops") //nolint:errflow // legacy matcher kept for one release; removed with the v2 wire format
+}

@@ -1,0 +1,32 @@
+// Package unscoped holds error-text matching that would fire inside
+// the reliability/serving plane; loaded under its literal testdata
+// path, the analyzer's AppliesTo must keep it silent.
+package unscoped
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func textMatching(err error) bool {
+	if err.Error() == "boom" {
+		return true
+	}
+	return strings.Contains(err.Error(), "sentinel")
+}
+
+func severed(ok bool) error {
+	err := fmt.Errorf("op: %w", errSentinel)
+	if ok {
+		return fmt.Errorf("outer: %v", err)
+	}
+	return err
+}
+
+func isLocal(err error) bool {
+	target := errors.New("ephemeral")
+	return errors.Is(err, target)
+}

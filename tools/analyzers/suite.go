@@ -11,8 +11,10 @@ import (
 
 	"abftchol/tools/analyzers/analysis"
 	"abftchol/tools/analyzers/chkflow"
+	"abftchol/tools/analyzers/ctxcheck"
 	"abftchol/tools/analyzers/detorder"
 	"abftchol/tools/analyzers/detsim"
+	"abftchol/tools/analyzers/errflow"
 	"abftchol/tools/analyzers/floateq"
 	"abftchol/tools/analyzers/goleak"
 	"abftchol/tools/analyzers/hotpath"
@@ -28,7 +30,7 @@ import (
 // (abftlint -json emits it in the header line). Bump it whenever the
 // analyzer set, a diagnostic format, or the JSON wire format changes,
 // so CI artifact consumers can detect incomparable runs.
-const Version = "0.9.0"
+const Version = "0.10.0"
 
 // Suite lists every analyzer the abftlint driver runs. The order is
 // load-bearing — it fixes the sequence of findings in -json output and
@@ -37,8 +39,10 @@ const Version = "0.9.0"
 // stable as analyzers are added.
 var Suite = []*analysis.Analyzer{
 	chkflow.Analyzer,
+	ctxcheck.Analyzer,
 	detorder.Analyzer,
 	detsim.Analyzer,
+	errflow.Analyzer,
 	floateq.Analyzer,
 	goleak.Analyzer,
 	hotpath.Analyzer,

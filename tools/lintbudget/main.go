@@ -1,0 +1,131 @@
+// Command lintbudget gates the static-analysis suite's own cost. It
+// loads and type-checks the module once, runs every registered
+// analyzer over it with per-analyzer timing (analysis.RunAllTimed —
+// the same numbers abftlint -json publishes in its header), and
+// compares the suite total against the committed baseline in
+// BENCH_lint.json at the repository root:
+//
+//	go run ./tools/lintbudget            # compare; exit 1 past 3x
+//	go run ./tools/lintbudget -update    # re-record the baseline
+//
+// The gate is deliberately loose — wall time varies across machines —
+// but a suite that got three times slower than its recorded self is a
+// regression someone introduced, not noise, and it taxes every `make
+// lint` until fixed. Re-record the baseline when the analyzer roster
+// changes (the comparison refuses mismatched rosters rather than
+// comparing incomparable totals).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"abftchol/tools/analyzers"
+	"abftchol/tools/analyzers/analysis"
+)
+
+// Baseline is the committed shape of BENCH_lint.json.
+type Baseline struct {
+	Suite       string             `json:"suite"`
+	Version     string             `json:"version"`
+	Analyzers   int                `json:"analyzers"`
+	LoadMS      float64            `json:"load_ms"`
+	SuiteMS     float64            `json:"suite_ms"`
+	AnalyzersMS map[string]float64 `json:"analyzers_ms"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_lint.json", "committed baseline to compare against (or rewrite with -update)")
+	update := flag.Bool("update", false, "re-record the baseline instead of gating against it")
+	factor := flag.Float64("factor", 3, "fail when the measured suite time exceeds baseline x factor")
+	flag.Parse()
+	if err := run(*baselinePath, *update, *factor); err != nil {
+		fmt.Fprintln(os.Stderr, "lintbudget:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, update bool, factor float64) error {
+	loadStart := time.Now()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		return err
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			return fmt.Errorf("%s: %v", pkg.ImportPath, e)
+		}
+	}
+	loadMS := ms(time.Since(loadStart))
+
+	_, timings, err := analysis.RunAllTimed(pkgs, analyzers.Suite)
+	if err != nil {
+		return err
+	}
+	measured := Baseline{
+		Suite:       "abftlint",
+		Version:     analyzers.Version,
+		Analyzers:   len(analyzers.Suite),
+		LoadMS:      loadMS,
+		AnalyzersMS: make(map[string]float64, len(timings)),
+	}
+	for name, d := range timings {
+		v := ms(d)
+		measured.AnalyzersMS[name] = v
+		measured.SuiteMS += v
+	}
+
+	names := make([]string, 0, len(measured.AnalyzersMS))
+	for n := range measured.AnalyzersMS {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("suite %s v%s: load %.0f ms, %d analyzers %.0f ms\n",
+		measured.Suite, measured.Version, measured.LoadMS, measured.Analyzers, measured.SuiteMS)
+	for _, n := range names {
+		fmt.Printf("  %-16s %8.1f ms\n", n, measured.AnalyzersMS[n])
+	}
+
+	if update {
+		data, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("baseline re-recorded to %s\n", baselinePath)
+		return nil
+	}
+
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("%w (run with -update to record the first baseline)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if base.Analyzers != measured.Analyzers || base.Version != measured.Version {
+		return fmt.Errorf("baseline %s records suite v%s with %d analyzers, this build is v%s with %d — re-record it with -update",
+			baselinePath, base.Version, base.Analyzers, measured.Version, measured.Analyzers)
+	}
+	budget := base.SuiteMS * factor
+	fmt.Printf("budget: %.0f ms (baseline %.0f ms x %.1f); measured %.0f ms\n",
+		budget, base.SuiteMS, factor, measured.SuiteMS)
+	if measured.SuiteMS > budget {
+		return fmt.Errorf("suite took %.0f ms, over the %.0f ms budget — find the regression or re-record the baseline with -update and justify it in the commit",
+			measured.SuiteMS, budget)
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -63,7 +64,7 @@ func main() {
 
 	run := func(w int) ([]byte, float64) {
 		start := time.Now()
-		rep, err := campaign.Run(cfg, experiments.NewScheduler(w, nil), campaign.RunOptions{})
+		rep, err := campaign.Run(context.Background(), cfg, experiments.NewScheduler(w, nil), campaign.RunOptions{})
 		if err != nil {
 			fatal(err)
 		}

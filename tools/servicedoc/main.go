@@ -41,6 +41,7 @@ func rewrite(path string) error {
 	}{
 		{server.EndpointsBegin, server.EndpointsEnd, server.EndpointsTable()},
 		{server.ErrorsBegin, server.ErrorsEnd, server.ErrorsTable()},
+		{server.JobErrorsBegin, server.JobErrorsEnd, server.JobErrorsTable()},
 		{server.SessionBegin, server.SessionEnd, session},
 	} {
 		src, err = replaceSection(src, sec.begin, sec.end, sec.body)
